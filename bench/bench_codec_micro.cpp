@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks of the erasure-coding substrate:
+// GF(256) region primitives and full-stripe encode/decode of the
+// codecs backing the experiments. These are the "code computation
+// complexity" half of the paper's Section III observation (the other
+// half being read-access counts).
+#include <benchmark/benchmark.h>
+
+#include "ec/evenodd.hpp"
+#include "ec/raid5.hpp"
+#include "ec/rdp.hpp"
+#include "ec/rs.hpp"
+#include "gf/region.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sma;
+
+void BM_RegionXor(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> src(len);
+  std::vector<std::uint8_t> dst(len);
+  fill_pattern(1, src.data(), len);
+  fill_pattern(2, dst.data(), len);
+  for (auto _ : state) {
+    gf::region_xor(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_RegionXor)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_RegionMulXor(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> src(len);
+  std::vector<std::uint8_t> dst(len);
+  fill_pattern(3, src.data(), len);
+  fill_pattern(4, dst.data(), len);
+  for (auto _ : state) {
+    gf::region_mul_xor(0x57, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_RegionMulXor)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+template <typename Codec>
+void encode_bench(benchmark::State& state, const Codec& codec,
+                  std::size_t element_bytes) {
+  ec::ColumnSet stripe = codec.make_stripe(element_bytes);
+  stripe.fill_pattern(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(stripe).is_ok());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(codec.data_columns()) * codec.rows() *
+      static_cast<std::int64_t>(element_bytes));
+}
+
+void BM_EncodeRaid5(benchmark::State& state) {
+  encode_bench(state, ec::Raid5Codec(5, 5), 65536);
+}
+BENCHMARK(BM_EncodeRaid5);
+
+void BM_EncodeEvenOdd(benchmark::State& state) {
+  encode_bench(state, ec::EvenOddCodec(5), 65536);
+}
+BENCHMARK(BM_EncodeEvenOdd);
+
+void BM_EncodeRdp(benchmark::State& state) {
+  encode_bench(state, ec::RdpCodec(5), 65536);
+}
+BENCHMARK(BM_EncodeRdp);
+
+void BM_EncodeCauchyRs(benchmark::State& state) {
+  encode_bench(state, ec::CauchyRsCodec(5, 2, 4), 65536);
+}
+BENCHMARK(BM_EncodeCauchyRs);
+
+template <typename Codec>
+void decode_two_bench(benchmark::State& state, const Codec& codec,
+                      std::size_t element_bytes) {
+  ec::ColumnSet reference = codec.make_stripe(element_bytes);
+  reference.fill_pattern(9);
+  if (!codec.encode(reference).is_ok()) {
+    state.SkipWithError("encode failed");
+    return;
+  }
+  for (auto _ : state) {
+    ec::ColumnSet damaged = reference;
+    damaged.zero_column(0);
+    damaged.zero_column(1);
+    benchmark::DoNotOptimize(codec.decode(damaged, {0, 1}).is_ok());
+  }
+}
+
+void BM_DecodeTwoEvenOdd(benchmark::State& state) {
+  decode_two_bench(state, ec::EvenOddCodec(5), 65536);
+}
+BENCHMARK(BM_DecodeTwoEvenOdd);
+
+void BM_DecodeTwoRdp(benchmark::State& state) {
+  decode_two_bench(state, ec::RdpCodec(5), 65536);
+}
+BENCHMARK(BM_DecodeTwoRdp);
+
+void BM_DecodeTwoCauchyRs(benchmark::State& state) {
+  decode_two_bench(state, ec::CauchyRsCodec(5, 2, 4), 65536);
+}
+BENCHMARK(BM_DecodeTwoCauchyRs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Reliability consequence of the shifted arrangement (extension beyond
+// the paper): MTTDL from enumerated fatal failure sets plus the
+// *measured* rebuild time of each arrangement on the simulated array.
+//
+// The tension: the shifted mirror has n fatal second-failure candidates
+// where the traditional mirror has 1, but rebuilds ~n x faster. With
+// the measured (sub-n) speedup the two roughly cancel for the plain
+// mirror; with the parity disk the shifted variant's shorter double-
+// degraded window wins outright.
+#include <cmath>
+
+#include "common.hpp"
+#include "recon/executor.hpp"
+#include "recon/reliability.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace sma;
+
+/// Measured MTTR: rebuild one failed disk carrying `data_gb` of data.
+double measured_mttr_hours(const layout::Architecture& arch, double data_gb) {
+  array::DiskArray arr(bench::experiment_config(arch));
+  arr.initialize();
+  arr.fail_physical(0);
+  auto report = recon::reconstruct(arr);
+  if (!report.is_ok()) return 0;
+  // Scale the per-byte rebuild time to the target capacity (rebuild
+  // time is linear in data volume).
+  const double per_byte =
+      report.value().total_makespan_s /
+      static_cast<double>(report.value().logical_bytes_recovered);
+  return per_byte * data_gb * 1e9 / 3600.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sma;
+  const double kDataGb = 17.0;  // the paper's per-disk data volume
+
+  Table table("MTTDL with measured rebuild times (17 GB/disk, MTTF 1e6 h)");
+  table.set_header({"architecture", "n", "fatal 2nd", "fatal 3rd",
+                    "MTTR (h)", "MTTDL (years)"});
+
+  for (int n = 3; n <= 7; n += 2) {
+    const layout::Architecture archs[] = {
+        layout::Architecture::mirror(n, false),
+        layout::Architecture::mirror(n, true),
+        layout::Architecture::mirror_with_parity(n, false),
+        layout::Architecture::mirror_with_parity(n, true),
+    };
+    for (const auto& arch : archs) {
+      recon::MttdlParams params;
+      params.mttr_hours = measured_mttr_hours(arch, kDataGb);
+      if (params.mttr_hours <= 0) {
+        std::fprintf(stderr, "MTTR measurement failed for %s\n",
+                     arch.name().c_str());
+        return 1;
+      }
+      const auto report = recon::estimate_mttdl(arch, params);
+      table.add_row({arch.name(), Table::num(n),
+                     Table::num(report.fatal.avg_fatal_second, 2),
+                     Table::num(report.fatal.avg_fatal_third, 2),
+                     Table::num(params.mttr_hours, 4),
+                     std::isfinite(report.mttdl_hours)
+                         ? Table::num(report.mttdl_years(), 0)
+                         : "inf"});
+    }
+  }
+  bench::emit(table, "sma_reliability.csv");
+  return 0;
+}

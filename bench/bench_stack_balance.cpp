@@ -1,0 +1,75 @@
+// Load-balance verification (paper Section VI-A: "all the disks are
+// under load balance ... thus minimize the maximum number of read
+// accesses from a single disk").
+//
+// Both rotation modes are shown, and they agree — which is itself the
+// point: cyclic stack rotation shifts the failed disk's role and its
+// traditional partner in lockstep, so the SAME physical partner serves
+// every stripe's rebuild reads; rotation cannot fix the traditional
+// mirror's rebuild hotspot. Only the arrangement itself (spreading
+// replicas across all disks) removes it.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "recon/executor.hpp"
+
+namespace {
+
+using namespace sma;
+
+void sweep(Table& table, bool rotate) {
+  for (int n = 3; n <= 7; n += 2) {
+    for (const bool shifted : {false, true}) {
+      const auto arch = layout::Architecture::mirror(n, shifted);
+      auto cfg = bench::experiment_config(arch, /*stacks=*/1);
+      cfg.rotate = rotate;
+      array::DiskArray arr(cfg);
+      arr.initialize();
+      arr.fail_physical(0);
+      arr.reset_counters();
+      auto report = recon::reconstruct(arr);
+      if (!report.is_ok()) {
+        std::fprintf(stderr, "rebuild failed: %s\n",
+                     report.status().to_string().c_str());
+        std::exit(1);
+      }
+      std::uint64_t min_reads = ~0ull;
+      std::uint64_t max_reads = 0;
+      std::uint64_t total = 0;
+      int survivors = 0;
+      for (int d = 1; d < arr.total_disks(); ++d) {  // disk 0 was rebuilt
+        const auto reads = arr.physical(d).counters().reads;
+        min_reads = std::min(min_reads, reads);
+        max_reads = std::max(max_reads, reads);
+        total += reads;
+        ++survivors;
+      }
+      const double mean = static_cast<double>(total) / survivors;
+      table.add_row({std::string(rotate ? "stack" : "stripe"), Table::num(n),
+                     std::string(shifted ? "shifted" : "traditional"),
+                     Table::num(min_reads), Table::num(max_reads),
+                     Table::num(mean, 1),
+                     Table::num(report.value().read_throughput_mbps(), 1)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sma;
+  Table table("Per-disk rebuild read load after a single disk failure");
+  table.set_header({"view", "n", "arrangement", "min reads", "max reads",
+                    "mean reads", "throughput MB/s"});
+  sweep(table, /*rotate=*/false);
+  sweep(table, /*rotate=*/true);
+  bench::emit(table, "sma_stack_balance.csv");
+  std::printf(
+      "Note the stripe and stack views coincide: cyclic rotation moves the\n"
+      "failed disk's logical role and its traditional partner together, so\n"
+      "the rebuild hotspot stays on one physical disk (max reads ~ n per\n"
+      "stripe). The shifted arrangement removes the hotspot structurally\n"
+      "(max reads = 1-2 per stripe), which is what the throughput shows.\n");
+  return 0;
+}

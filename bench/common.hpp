@@ -1,0 +1,38 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one table or figure of the paper: it
+// prints the same rows/series the paper reports and mirrors them to a
+// CSV file next to the binary (sma_<name>.csv) for replotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "array/disk_array.hpp"
+#include "layout/architecture.hpp"
+#include "util/table.hpp"
+
+namespace sma::bench {
+
+inline array::ArrayConfig experiment_config(layout::Architecture arch,
+                                            int stacks = 1) {
+  array::ArrayConfig cfg;
+  cfg.arch = arch;
+  cfg.stripes = stacks * arch.total_disks();
+  cfg.rotate = true;
+  cfg.spec = disk::DiskSpec::savvio_10k3();
+  cfg.content_bytes = 256;  // contents only gate correctness checks
+  cfg.logical_element_bytes = 4ull * 1000 * 1000;  // paper: 4 MB elements
+  cfg.seed = 20120901;                             // ICPP 2012
+  return cfg;
+}
+
+inline void emit(const Table& table, const std::string& csv_name) {
+  std::fputs(table.render().c_str(), stdout);
+  if (table.write_csv(csv_name))
+    std::printf("[csv] %s\n\n", csv_name.c_str());
+  else
+    std::printf("[csv] failed to write %s\n\n", csv_name.c_str());
+}
+
+}  // namespace sma::bench

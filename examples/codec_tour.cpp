@@ -1,0 +1,61 @@
+// Codec tour: the erasure-coding substrate on its own — every codec
+// encoding one stripe, surviving every tolerated erasure pattern, and
+// reporting its small-write update penalty. A ten-minute read of what
+// the paper's Section II comparisons are made of.
+//
+//   $ ./codec_tour
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "ec/evenodd.hpp"
+#include "ec/raid5.hpp"
+#include "ec/rdp.hpp"
+#include "ec/rs.hpp"
+#include "ec/update_penalty.hpp"
+#include "ec/xcode.hpp"
+
+int main() {
+  using namespace sma;
+
+  std::vector<ec::CodecPtr> codecs;
+  codecs.push_back(std::make_unique<ec::Raid5Codec>(5, 4));
+  codecs.push_back(std::make_unique<ec::EvenOddCodec>(5));
+  codecs.push_back(std::make_unique<ec::RdpCodec>(5));
+  codecs.push_back(std::make_unique<ec::CauchyRsCodec>(5, 3, 4));
+  codecs.push_back(std::make_unique<ec::XCodec>(7));
+
+  std::printf("%-20s %7s %7s %6s %10s %18s\n", "codec", "data", "parity",
+              "rows", "tolerance", "updates/write");
+  std::printf("%s\n", std::string(74, '-').c_str());
+
+  for (const auto& codec : codecs) {
+    // 1. Round-trip every erasure pattern up to the tolerance.
+    const auto self = codec->self_test(0xC0FFEE);
+    if (!self.is_ok()) {
+      std::fprintf(stderr, "%s self-test FAILED: %s\n",
+                   codec->name().c_str(), self.to_string().c_str());
+      return 1;
+    }
+    // 2. Update penalty (min/avg/max parity cells touched per write).
+    auto penalty = ec::measure_update_penalty(*codec);
+    if (!penalty.is_ok()) {
+      std::fprintf(stderr, "%s penalty measurement failed\n",
+                   codec->name().c_str());
+      return 1;
+    }
+    std::printf("%-20s %7d %7d %6d %10d %6d/%.2f/%d\n",
+                codec->name().c_str(), codec->data_columns(),
+                codec->parity_columns(), codec->rows(),
+                codec->fault_tolerance(), penalty.value().min,
+                penalty.value().average, penalty.value().max);
+  }
+
+  std::printf(
+      "\nEvery codec above decoded every single/double erasure byte-exact.\n"
+      "Note the update column: the horizontal RAID-6 codes (evenodd, rdp)\n"
+      "exceed their optimum of 2; the vertical x-code and the row codes\n"
+      "sit exactly at it — the paper's Section II updating-efficiency\n"
+      "argument, reproduced.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// On-line rebuild demo: user reads arrive while a failed disk is being
+// reconstructed. Compares user-visible latency between the traditional
+// and shifted arrangements under identical workloads — the data
+// availability story of the paper, seen from the application side.
+//
+//   $ ./online_rebuild [n] [user_read_rate_hz]
+#include <cstdio>
+#include <cstdlib>
+
+#include "recon/online.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sma;
+
+  int n = 5;
+  double rate = 30.0;
+  if (argc > 1) n = std::atoi(argv[1]);
+  if (argc > 2) rate = std::atof(argv[2]);
+  if (n < 2 || n > 16 || rate <= 0) {
+    std::fprintf(stderr, "usage: %s [n 2..16] [rate_hz > 0]\n", argv[0]);
+    return 1;
+  }
+
+  std::printf("On-line reconstruction, n=%d, user reads at %.0f req/s, "
+              "disk 0 failed.\n\n", n, rate);
+  for (const bool shifted : {false, true}) {
+    array::ArrayConfig cfg;
+    cfg.arch = layout::Architecture::mirror(n, shifted);
+    cfg.stripes = 4 * cfg.arch.total_disks();
+    cfg.content_bytes = 64;
+    cfg.logical_element_bytes = 4ull * 1000 * 1000;
+    array::DiskArray arr(cfg);
+    arr.initialize();
+    arr.fail_physical(0);
+
+    recon::OnlineConfig ocfg;
+    ocfg.user_read_rate_hz = rate;
+    ocfg.max_user_reads = 800;
+    ocfg.seed = 99;
+    auto report = recon::run_online_reconstruction(arr, ocfg);
+    if (!report.is_ok()) {
+      std::fprintf(stderr, "online recon failed: %s\n",
+                   report.status().to_string().c_str());
+      return 1;
+    }
+    const auto& r = report.value();
+    std::printf("%s arrangement:\n", shifted ? "SHIFTED" : "TRADITIONAL");
+    std::printf("  rebuild finished at %8.2f s\n", r.rebuild_done_s);
+    std::printf("  user reads served  %8zu (%zu degraded)\n", r.user_reads,
+                r.degraded_reads);
+    std::printf("  latency mean/p50/p95/p99/max: "
+                "%.1f / %.1f / %.1f / %.1f / %.1f ms\n\n",
+                r.mean_latency_s * 1e3, r.p50_latency_s * 1e3,
+                r.p95_latency_s * 1e3, r.p99_latency_s * 1e3,
+                r.max_latency_s * 1e3);
+  }
+  std::printf("Under the traditional layout every rebuild read lands on the\n"
+              "single partner disk, so user reads queuing there see long\n"
+              "tails; the shifted layout spreads rebuild I/O over all disks.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// RAID-6 showdown: the shifted mirror method with parity vs EVENODD /
+// RDP, end-to-end on the simulator — storage efficiency, double-failure
+// rebuild throughput, and content-verified recovery, echoing the
+// paper's Section II/VI comparison.
+//
+//   $ ./raid6_showdown [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ec/evenodd.hpp"
+#include "ec/rdp.hpp"
+#include "recon/analytic.hpp"
+#include "recon/executor.hpp"
+#include "recon/failure.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sma;
+
+  int n = 5;
+  if (argc > 1) n = std::atoi(argv[1]);
+  if (n < 2 || n > 10) {
+    std::fprintf(stderr, "usage: %s [n 2..10]\n", argv[0]);
+    return 1;
+  }
+
+  // Codec self-tests first: both RAID-6 codes must round-trip every
+  // single/double erasure byte-for-byte.
+  ec::EvenOddCodec evenodd(n);
+  ec::RdpCodec rdp(n);
+  for (const ec::Codec* codec :
+       {static_cast<const ec::Codec*>(&evenodd),
+        static_cast<const ec::Codec*>(&rdp)}) {
+    const auto st = codec->self_test(4242);
+    std::printf("%-18s self-test: %s\n", codec->name().c_str(),
+                st.to_string().c_str());
+    if (!st.is_ok()) return 1;
+  }
+  std::printf("\n");
+
+  Table table("Fault-tolerance-2 architectures, n = " + std::to_string(n));
+  table.set_header({"architecture", "disks", "storage eff", "avg read accesses",
+                    "avg rebuild MB/s (double failures)"});
+
+  const layout::Architecture archs[] = {
+      layout::Architecture::mirror_with_parity(n, false),
+      layout::Architecture::mirror_with_parity(n, true),
+      layout::Architecture::raid6(n),
+  };
+  for (const auto& arch : archs) {
+    const auto cases = recon::enumerate_double_failure_cases(arch);
+    RunningStat mbps;
+    for (const auto& failed : recon::enumerate_double_failures(arch)) {
+      array::ArrayConfig cfg;
+      cfg.arch = arch;
+      cfg.stripes = arch.total_disks();
+      cfg.content_bytes = 128;
+      cfg.logical_element_bytes = 4ull * 1000 * 1000;
+      array::DiskArray arr(cfg);
+      arr.initialize();
+      for (const int d : failed) arr.fail_physical(d);
+      auto report = recon::reconstruct(arr);
+      if (!report.is_ok()) {
+        std::fprintf(stderr, "%s rebuild of {%d,%d} failed: %s\n",
+                     arch.name().c_str(), failed[0], failed[1],
+                     report.status().to_string().c_str());
+        return 1;
+      }
+      if (report.value().logical_bytes_read > 0)
+        mbps.add(report.value().read_throughput_mbps());
+    }
+    table.add_row({arch.name(), Table::num(arch.total_disks()),
+                   Table::num(arch.storage_efficiency(), 3),
+                   Table::num(cases.average_read_accesses, 3),
+                   Table::num(mbps.mean(), 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nEvery rebuild above recovered byte-identical contents (verified).\n"
+      "The mirror methods trade ~%d%% storage efficiency for far fewer\n"
+      "read accesses during reconstruction; the shifted arrangement then\n"
+      "parallelizes those reads across all disks.\n",
+      static_cast<int>(100 * (archs[2].storage_efficiency() -
+                              archs[0].storage_efficiency())));
+  return 0;
+}

@@ -1,0 +1,364 @@
+#include "array/disk_array.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+
+#include "ec/raid5.hpp"
+#include "ec/rdp.hpp"
+#include "gf/region.hpp"
+#include "util/rng.hpp"
+
+namespace sma::array {
+
+namespace {
+std::uint64_t element_seed(std::uint64_t volume_seed, int data_disk,
+                           int stripe, int row) {
+  // One SplitMix64 mix per coordinate gives independent streams for
+  // every element.
+  std::uint64_t s = volume_seed;
+  s ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(data_disk) + 1);
+  s = splitmix64(s);
+  s ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(stripe) + 1);
+  s = splitmix64(s);
+  s ^= 0x94d049bb133111ebULL * (static_cast<std::uint64_t>(row) + 1);
+  return splitmix64(s);
+}
+}  // namespace
+
+DiskArray::DiskArray(ArrayConfig cfg)
+    : cfg_(std::move(cfg)), mapper_(cfg_.arch.total_disks()) {
+  assert(cfg_.stripes >= 1);
+  const std::int64_t slots =
+      static_cast<std::int64_t>(cfg_.stripes) * cfg_.arch.rows();
+  disks_.reserve(static_cast<std::size_t>(total_disks()));
+  for (int d = 0; d < total_disks(); ++d) {
+    const auto it = cfg_.spec_overrides.find(d);
+    const disk::DiskSpec& spec =
+        it == cfg_.spec_overrides.end() ? cfg_.spec : it->second;
+    disks_.emplace_back(d, spec, slots, cfg_.content_bytes,
+                        cfg_.logical_element_bytes);
+  }
+  if (!cfg_.arch.is_mirror()) {
+    const int n = cfg_.arch.n();
+    if (cfg_.arch.kind() == layout::ArchKind::kRaid5)
+      raid_codec_ = std::make_unique<ec::Raid5Codec>(n, n);
+    else
+      raid_codec_ = std::make_unique<ec::RdpCodec>(n);
+    assert(raid_codec_->rows() == cfg_.arch.rows());
+    assert(raid_codec_->total_columns() == cfg_.arch.total_disks());
+  }
+}
+
+int DiskArray::physical_disk(int logical, int stripe) const {
+  return cfg_.rotate ? mapper_.physical_of(logical, stripe) : logical;
+}
+
+int DiskArray::logical_disk(int physical, int stripe) const {
+  return cfg_.rotate ? mapper_.logical_of(physical, stripe) : physical;
+}
+
+std::int64_t DiskArray::slot(int stripe, int row) const {
+  assert(stripe >= 0 && stripe < cfg_.stripes);
+  assert(row >= 0 && row < cfg_.arch.rows());
+  return static_cast<std::int64_t>(stripe) * cfg_.arch.rows() + row;
+}
+
+disk::SimDisk& DiskArray::physical(int d) {
+  assert(d >= 0 && d < total_disks());
+  return disks_[static_cast<std::size_t>(d)];
+}
+
+const disk::SimDisk& DiskArray::physical(int d) const {
+  assert(d >= 0 && d < total_disks());
+  return disks_[static_cast<std::size_t>(d)];
+}
+
+std::span<std::uint8_t> DiskArray::content(int logical, int stripe, int row) {
+  return physical(physical_disk(logical, stripe)).content(slot(stripe, row));
+}
+
+std::span<const std::uint8_t> DiskArray::content(int logical, int stripe,
+                                                 int row) const {
+  return physical(physical_disk(logical, stripe)).content(slot(stripe, row));
+}
+
+void DiskArray::expected_data(int data_disk, int stripe, int row,
+                              std::span<std::uint8_t> out) const {
+  fill_pattern(element_seed(cfg_.seed, data_disk, stripe, row), out.data(),
+               out.size());
+}
+
+void DiskArray::init_mirror_stripe(int stripe) {
+  const auto& arch = cfg_.arch;
+  const int n = arch.n();
+  // Data disks.
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < arch.rows(); ++j)
+      expected_data(i, stripe, j, content(arch.data_disk(i), stripe, j));
+  // Mirror disks via the arrangement.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < arch.rows(); ++j) {
+      const layout::Pos replica = arch.replica_of(i, j);
+      auto dst = content(replica.disk, stripe, replica.row);
+      auto src = content(arch.data_disk(i), stripe, j);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  // Parity disk: c_j = XOR_i a(i, j).
+  if (arch.has_parity()) {
+    for (int j = 0; j < arch.rows(); ++j) {
+      auto parity = content(arch.parity_disk(), stripe, j);
+      gf::region_zero(parity);
+      for (int i = 0; i < n; ++i)
+        gf::region_xor(content(arch.data_disk(i), stripe, j), parity);
+    }
+  }
+}
+
+void DiskArray::init_raid_stripe(int stripe) {
+  ec::ColumnSet cs = raid_codec_->make_stripe(cfg_.content_bytes);
+  for (int i = 0; i < cfg_.arch.n(); ++i) {
+    for (int j = 0; j < cfg_.arch.rows(); ++j) {
+      auto dst = cs.element(i, j);
+      expected_data(i, stripe, j, dst);
+    }
+  }
+  const auto st = raid_codec_->encode(cs);
+  assert(st.is_ok());
+  (void)st;
+  for (int col = 0; col < cs.columns(); ++col) {
+    for (int j = 0; j < cfg_.arch.rows(); ++j) {
+      auto dst = content(col, stripe, j);
+      auto src = cs.element(col, j);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+}
+
+void DiskArray::initialize() {
+  for (int s = 0; s < cfg_.stripes; ++s) {
+    if (cfg_.arch.is_mirror())
+      init_mirror_stripe(s);
+    else
+      init_raid_stripe(s);
+  }
+}
+
+namespace {
+Status mismatch(const char* what, int logical, int stripe, int row) {
+  return corruption(std::string(what) + " mismatch at logical disk " +
+                    std::to_string(logical) + ", stripe " +
+                    std::to_string(stripe) + ", row " + std::to_string(row));
+}
+}  // namespace
+
+Status DiskArray::verify_mirror_stripe(int stripe) const {
+  const auto& arch = cfg_.arch;
+  const int n = arch.n();
+  std::vector<std::uint8_t> expect(cfg_.content_bytes);
+  auto live = [&](int logical) {
+    return !physical(physical_disk(logical, stripe)).failed();
+  };
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < arch.rows(); ++j) {
+      expected_data(i, stripe, j, expect);
+      if (live(arch.data_disk(i))) {
+        auto got = content(arch.data_disk(i), stripe, j);
+        if (!std::equal(got.begin(), got.end(), expect.begin()))
+          return mismatch("data", arch.data_disk(i), stripe, j);
+      }
+      const layout::Pos replica = arch.replica_of(i, j);
+      if (live(replica.disk)) {
+        auto got = content(replica.disk, stripe, replica.row);
+        if (!std::equal(got.begin(), got.end(), expect.begin()))
+          return mismatch("mirror", replica.disk, stripe, replica.row);
+      }
+    }
+  }
+  if (arch.has_parity() && live(arch.parity_disk())) {
+    std::vector<std::uint8_t> parity(cfg_.content_bytes);
+    for (int j = 0; j < arch.rows(); ++j) {
+      std::fill(parity.begin(), parity.end(), 0);
+      for (int i = 0; i < n; ++i) {
+        expected_data(i, stripe, j, expect);
+        gf::region_xor(expect, parity);
+      }
+      auto got = content(arch.parity_disk(), stripe, j);
+      if (!std::equal(got.begin(), got.end(), parity.begin()))
+        return mismatch("parity", arch.parity_disk(), stripe, j);
+    }
+  }
+  return Status::ok();
+}
+
+Status DiskArray::verify_raid_stripe(int stripe) const {
+  ec::ColumnSet cs = raid_codec_->make_stripe(cfg_.content_bytes);
+  for (int i = 0; i < cfg_.arch.n(); ++i)
+    for (int j = 0; j < cfg_.arch.rows(); ++j) {
+      auto dst = cs.element(i, j);
+      expected_data(i, stripe, j, dst);
+    }
+  SMA_RETURN_IF_ERROR(raid_codec_->encode(cs));
+  for (int col = 0; col < cs.columns(); ++col) {
+    if (physical(physical_disk(col, stripe)).failed()) continue;
+    for (int j = 0; j < cfg_.arch.rows(); ++j) {
+      auto got = content(col, stripe, j);
+      auto want = cs.element(col, j);
+      if (!std::equal(got.begin(), got.end(), want.begin()))
+        return mismatch("raid", col, stripe, j);
+    }
+  }
+  return Status::ok();
+}
+
+Status DiskArray::verify_all() const {
+  for (int s = 0; s < cfg_.stripes; ++s) {
+    if (cfg_.arch.is_mirror()) {
+      SMA_RETURN_IF_ERROR(verify_mirror_stripe(s));
+    } else {
+      SMA_RETURN_IF_ERROR(verify_raid_stripe(s));
+    }
+  }
+  return Status::ok();
+}
+
+Status DiskArray::verify_consistency() const {
+  std::vector<std::uint8_t> expect(cfg_.content_bytes);
+  for (int s = 0; s < cfg_.stripes; ++s) {
+    auto live = [&](int logical) {
+      return !physical(physical_disk(logical, s)).failed();
+    };
+    if (cfg_.arch.is_mirror()) {
+      const int n = cfg_.arch.n();
+      for (int i = 0; i < n; ++i) {
+        if (!live(cfg_.arch.data_disk(i))) continue;
+        for (int j = 0; j < cfg_.arch.rows(); ++j) {
+          const layout::Pos replica = cfg_.arch.replica_of(i, j);
+          if (!live(replica.disk)) continue;
+          auto data = content(cfg_.arch.data_disk(i), s, j);
+          auto mirror = content(replica.disk, s, replica.row);
+          if (!std::equal(data.begin(), data.end(), mirror.begin()))
+            return mismatch("mirror-consistency", replica.disk, s,
+                            replica.row);
+        }
+      }
+      if (cfg_.arch.has_parity() && live(cfg_.arch.parity_disk())) {
+        bool all_data_live = true;
+        for (int i = 0; i < n; ++i)
+          if (!live(cfg_.arch.data_disk(i))) all_data_live = false;
+        if (all_data_live) {
+          for (int j = 0; j < cfg_.arch.rows(); ++j) {
+            std::fill(expect.begin(), expect.end(), 0);
+            for (int i = 0; i < n; ++i)
+              gf::region_xor(content(cfg_.arch.data_disk(i), s, j), expect);
+            auto got = content(cfg_.arch.parity_disk(), s, j);
+            if (!std::equal(got.begin(), got.end(), expect.begin()))
+              return mismatch("parity-consistency", cfg_.arch.parity_disk(),
+                              s, j);
+          }
+        }
+      }
+    } else {
+      bool all_data_live = true;
+      for (int i = 0; i < cfg_.arch.n(); ++i)
+        if (!live(i)) all_data_live = false;
+      if (!all_data_live) continue;
+      ec::ColumnSet cs = raid_codec_->make_stripe(cfg_.content_bytes);
+      for (int i = 0; i < cfg_.arch.n(); ++i)
+        for (int j = 0; j < cfg_.arch.rows(); ++j) {
+          auto src = content(i, s, j);
+          auto dst = cs.element(i, j);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+      SMA_RETURN_IF_ERROR(raid_codec_->encode(cs));
+      for (int col = cfg_.arch.n(); col < cs.columns(); ++col) {
+        if (!live(col)) continue;
+        for (int j = 0; j < cfg_.arch.rows(); ++j) {
+          auto got = content(col, s, j);
+          auto want = cs.element(col, j);
+          if (!std::equal(got.begin(), got.end(), want.begin()))
+            return mismatch("raid-consistency", col, s, j);
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status DiskArray::verify_logical_disk(int logical) const {
+  const auto& arch = cfg_.arch;
+  std::vector<std::uint8_t> expect(cfg_.content_bytes);
+  for (int s = 0; s < cfg_.stripes; ++s) {
+    if (physical(physical_disk(logical, s)).failed())
+      return failed_precondition("logical disk " + std::to_string(logical) +
+                                 " is on a failed physical disk in stripe " +
+                                 std::to_string(s));
+    for (int j = 0; j < arch.rows(); ++j) {
+      auto got = content(logical, s, j);
+      switch (arch.role_of(logical)) {
+        case layout::DiskRole::kData:
+          expected_data(logical, s, j, expect);
+          break;
+        case layout::DiskRole::kMirror: {
+          const layout::Pos src = arch.replicated_by(arch.role_index(logical), j);
+          expected_data(src.disk, s, src.row, expect);
+          break;
+        }
+        case layout::DiskRole::kParity: {
+          std::fill(expect.begin(), expect.end(), 0);
+          std::vector<std::uint8_t> tmp(cfg_.content_bytes);
+          for (int i = 0; i < arch.n(); ++i) {
+            expected_data(i, s, j, tmp);
+            gf::region_xor(tmp, expect);
+          }
+          break;
+        }
+      }
+      if (!std::equal(got.begin(), got.end(), expect.begin()))
+        return mismatch("element", logical, s, j);
+    }
+  }
+  return Status::ok();
+}
+
+void DiskArray::fail_physical(int d) { physical(d).fail(); }
+
+std::vector<int> DiskArray::failed_physical() const {
+  std::vector<int> out;
+  for (int d = 0; d < total_disks(); ++d)
+    if (physical(d).failed()) out.push_back(d);
+  return out;
+}
+
+BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
+  BatchStats stats;
+  stats.start_s = start_time;
+  stats.end_s = start_time;
+  std::vector<int> per_disk(static_cast<std::size_t>(total_disks()), 0);
+  for (const Op& op : ops) {
+    const int phys = physical_disk(op.logical_disk, op.stripe);
+    auto& d = physical(phys);
+    const double done = d.submit(op.kind, slot(op.stripe, op.row), start_time);
+    stats.end_s = std::max(stats.end_s, done);
+    ++per_disk[static_cast<std::size_t>(phys)];
+    if (op.kind == disk::IoKind::kRead)
+      stats.logical_bytes_read += d.logical_element_bytes();
+    else
+      stats.logical_bytes_written += d.logical_element_bytes();
+  }
+  stats.max_ops_per_disk = *std::max_element(per_disk.begin(), per_disk.end());
+  return stats;
+}
+
+void DiskArray::reset_timelines() {
+  for (auto& d : disks_) d.reset_timeline();
+}
+
+void DiskArray::reset_counters() {
+  for (auto& d : disks_) d.reset_counters();
+}
+
+}  // namespace sma::array

@@ -1,0 +1,136 @@
+// DiskArray — a populated, addressable simulated disk array instance of
+// one Architecture: contents + timing + stack rotation.
+//
+// Logical vs physical disks: the reconstruction math is defined over
+// *logical* disks within a stripe; in practice the logical-to-physical
+// assignment rotates stripe by stripe ("stack", paper Section II-A) for
+// load balance. DiskArray stores data physically rotated (when enabled)
+// and translates addresses, so experiments can fail *physical* disks —
+// as the paper's testbed does — and still reason per-stripe logically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "disk/sim_disk.hpp"
+#include "ec/codec.hpp"
+#include "layout/architecture.hpp"
+#include "layout/stack.hpp"
+#include "util/status.hpp"
+
+namespace sma::array {
+
+struct ArrayConfig {
+  layout::Architecture arch = layout::Architecture::mirror(3, true);
+  /// Stripe count; a full stack needs arch.total_disks() stripes.
+  int stripes = 1;
+  /// Rotate logical->physical per stripe (stack rotation).
+  bool rotate = true;
+  disk::DiskSpec spec = disk::DiskSpec::savvio_10k3();
+  /// Per-physical-disk spec overrides (heterogeneous arrays /
+  /// straggler experiments); disks absent from the map use `spec`.
+  std::map<int, disk::DiskSpec> spec_overrides;
+  /// Stored bytes per element (content correctness checks).
+  std::size_t content_bytes = 4096;
+  /// Timed bytes per element (the paper uses 4 MB).
+  std::uint64_t logical_element_bytes = 4ull * 1024 * 1024;
+  std::uint64_t seed = 1;
+};
+
+/// One element access for the batch executor.
+struct Op {
+  int logical_disk = 0;  // architecture-global logical disk index
+  int stripe = 0;
+  int row = 0;
+  disk::IoKind kind = disk::IoKind::kRead;
+};
+
+/// Timing outcome of a parallel batch.
+struct BatchStats {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Max per-disk op count in the batch — the paper's "number of read
+  /// (write) accesses" under the parallel I/O model.
+  int max_ops_per_disk = 0;
+  std::uint64_t logical_bytes_read = 0;
+  std::uint64_t logical_bytes_written = 0;
+
+  double elapsed_s() const { return end_s - start_s; }
+};
+
+class DiskArray {
+ public:
+  explicit DiskArray(ArrayConfig cfg);
+
+  const layout::Architecture& arch() const { return cfg_.arch; }
+  const ArrayConfig& config() const { return cfg_; }
+  int stripes() const { return cfg_.stripes; }
+  int total_disks() const { return cfg_.arch.total_disks(); }
+
+  // --- address translation ---------------------------------------------
+  int physical_disk(int logical, int stripe) const;
+  int logical_disk(int physical, int stripe) const;
+  std::int64_t slot(int stripe, int row) const;
+
+  disk::SimDisk& physical(int disk);
+  const disk::SimDisk& physical(int disk) const;
+
+  /// Content of the element at (logical disk, stripe, row).
+  std::span<std::uint8_t> content(int logical, int stripe, int row);
+  std::span<const std::uint8_t> content(int logical, int stripe, int row) const;
+
+  // --- contents -----------------------------------------------------------
+  /// Populate every element per the architecture: deterministic data
+  /// patterns, arranged mirror copies, parity columns.
+  void initialize();
+
+  /// Expected bytes of the *data* element (data disk i, stripe, row).
+  void expected_data(int data_disk, int stripe, int row,
+                     std::span<std::uint8_t> out) const;
+
+  /// Check every element on every non-failed disk against its
+  /// definition. kCorruption with a precise location on mismatch.
+  Status verify_all() const;
+
+  /// Internal-consistency check against *current* contents: every
+  /// mirror cell equals its data source and every parity element is the
+  /// XOR of its data row (re-encode comparison for RAID kinds). Unlike
+  /// verify_all() this stays valid after user writes.
+  Status verify_consistency() const;
+  /// Check a single logical disk's elements across all stripes.
+  Status verify_logical_disk(int logical) const;
+
+  // --- failures ------------------------------------------------------------
+  void fail_physical(int disk);
+  std::vector<int> failed_physical() const;
+
+  // --- timing ---------------------------------------------------------------
+  /// Execute ops concurrently across disks: per-disk FIFO order as
+  /// listed, disks independent. Content is NOT touched (timing only).
+  BatchStats execute(std::span<const Op> ops, double start_time);
+
+  /// Forget all disk head positions / timelines (fresh experiment).
+  void reset_timelines();
+  void reset_counters();
+
+  /// Codec backing RAID-5/6 kinds (nullptr for mirror kinds); used by
+  /// the reconstruction executor to decode stripes.
+  const ec::Codec* raid_codec() const { return raid_codec_.get(); }
+
+ private:
+  ArrayConfig cfg_;
+  layout::StackMapper mapper_;
+  std::vector<disk::SimDisk> disks_;
+
+  /// Codec used to materialize / verify parity for RAID-5/6 kinds.
+  ec::CodecPtr raid_codec_;
+
+  void init_mirror_stripe(int stripe);
+  void init_raid_stripe(int stripe);
+  Status verify_mirror_stripe(int stripe) const;
+  Status verify_raid_stripe(int stripe) const;
+};
+
+}  // namespace sma::array

@@ -1,0 +1,74 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace sma::core {
+
+Result<std::vector<TraceOp>> parse_trace(std::istream& in) {
+  std::vector<TraceOp> ops;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank
+
+    TraceOp op;
+    if (kind == "R" || kind == "r") op.is_write = false;
+    else if (kind == "W" || kind == "w") op.is_write = true;
+    else
+      return invalid_argument("trace line " + std::to_string(line_no) +
+                              ": unknown op '" + kind + "'");
+    long long offset = 0;
+    long long length = 0;
+    if (!(fields >> offset >> length) || offset < 0 || length <= 0)
+      return invalid_argument("trace line " + std::to_string(line_no) +
+                              ": expected non-negative offset and positive "
+                              "length");
+    std::string extra;
+    if (fields >> extra)
+      return invalid_argument("trace line " + std::to_string(line_no) +
+                              ": trailing tokens");
+    op.offset = static_cast<std::uint64_t>(offset);
+    op.length = static_cast<std::uint64_t>(length);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+Result<TraceReplayReport> replay_trace(core::MirroredVolume& volume,
+                                       const std::vector<TraceOp>& ops,
+                                       std::uint64_t seed) {
+  TraceReplayReport report;
+  std::vector<std::uint8_t> buffer;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const TraceOp& op = ops[i];
+    buffer.resize(op.length);
+    if (op.is_write) {
+      fill_pattern(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)), buffer.data(),
+                   buffer.size());
+      Status st = volume.write_range(op.offset, buffer);
+      if (!st.is_ok())
+        return Status(st.code(), "trace op " + std::to_string(i + 1) + ": " +
+                                     st.message());
+      ++report.writes;
+      report.bytes_written += op.length;
+    } else {
+      Status st = volume.read_range(op.offset, buffer);
+      if (!st.is_ok())
+        return Status(st.code(), "trace op " + std::to_string(i + 1) + ": " +
+                                     st.message());
+      ++report.reads;
+      report.bytes_read += op.length;
+    }
+  }
+  return report;
+}
+
+}  // namespace sma::core

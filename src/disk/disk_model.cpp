@@ -1,0 +1,19 @@
+#include "disk/disk_model.hpp"
+
+namespace sma::disk {
+
+DiskSpec DiskSpec::savvio_10k3() {
+  return DiskSpec{};  // defaults are the Savvio 10K.3 figures
+}
+
+DiskSpec DiskSpec::ssd_like() {
+  DiskSpec s;
+  s.read_mbps = 500.0;
+  s.write_mbps = 450.0;
+  s.avg_seek_s = 0.0;
+  s.rpm = 0.0;
+  s.command_overhead_s = 0.05e-3;
+  return s;
+}
+
+}  // namespace sma::disk

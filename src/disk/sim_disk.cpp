@@ -1,0 +1,80 @@
+#include "disk/sim_disk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace sma::disk {
+
+SimDisk::SimDisk(int id, DiskSpec spec, std::int64_t slot_count,
+                 std::size_t content_bytes,
+                 std::uint64_t logical_element_bytes)
+    : id_(id),
+      spec_(spec),
+      slot_count_(slot_count),
+      content_bytes_(content_bytes),
+      logical_element_bytes_(logical_element_bytes),
+      store_(static_cast<std::size_t>(slot_count) * content_bytes) {
+  assert(slot_count > 0);
+  assert(content_bytes > 0);
+  assert(logical_element_bytes > 0);
+}
+
+double SimDisk::peek_service_s(IoKind kind, std::int64_t slot) const {
+  const bool sequential = slot == head_slot_ + 1;
+  const double position = sequential ? 0.0 : spec_.positioning_s();
+  const double transfer = kind == IoKind::kRead
+                              ? spec_.read_transfer_s(logical_element_bytes_)
+                              : spec_.write_transfer_s(logical_element_bytes_);
+  return position + transfer;
+}
+
+double SimDisk::submit(IoKind kind, std::int64_t slot, double earliest_start) {
+  assert(!failed_ && "I/O submitted to a failed disk");
+  assert(slot >= 0 && slot < slot_count_);
+  const double service = peek_service_s(kind, slot);
+  const bool sequential = slot == head_slot_ + 1;
+  const double start = std::max(earliest_start, busy_until_);
+  busy_until_ = start + service;
+  head_slot_ = slot;
+
+  if (kind == IoKind::kRead) {
+    ++counters_.reads;
+    counters_.logical_bytes_read += logical_element_bytes_;
+  } else {
+    ++counters_.writes;
+    counters_.logical_bytes_written += logical_element_bytes_;
+  }
+  if (sequential) ++counters_.sequential;
+  counters_.busy_s += service;
+  if (tracing_) trace_.push_back({kind, slot, start, busy_until_, sequential});
+  return busy_until_;
+}
+
+void SimDisk::reset_timeline() {
+  busy_until_ = 0.0;
+  head_slot_ = -2;
+}
+
+void SimDisk::reset_counters() { counters_ = DiskCounters{}; }
+
+std::span<std::uint8_t> SimDisk::content(std::int64_t slot) {
+  assert(slot >= 0 && slot < slot_count_);
+  return {store_.data() + static_cast<std::size_t>(slot) * content_bytes_,
+          content_bytes_};
+}
+
+std::span<const std::uint8_t> SimDisk::content(std::int64_t slot) const {
+  assert(slot >= 0 && slot < slot_count_);
+  return {store_.data() + static_cast<std::size_t>(slot) * content_bytes_,
+          content_bytes_};
+}
+
+void SimDisk::fail() {
+  failed_ = true;
+  // Scramble rather than zero: zeroed contents can masquerade as valid
+  // parity, hiding reconstruction bugs.
+  std::memset(store_.data(), 0xDB, store_.size());
+}
+
+}  // namespace sma::disk

@@ -1,0 +1,108 @@
+// SimDisk — one simulated disk: a timeline of element-granular I/O
+// plus byte-accurate element contents.
+//
+// Timing and content are deliberately decoupled: timing uses the
+// *logical* element size (the paper's 4 MB) while contents are stored
+// at a smaller configurable size so whole-stack experiments stay cheap
+// in RAM. Correctness checks (parity math, rebuild verification) run on
+// the stored bytes; throughput math runs on the logical size.
+//
+// Addressing: elements live at integer slots; slot order is physical
+// LBA order, so an access to slot s+1 immediately after slot s is
+// sequential (no positioning charge).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "disk/disk_model.hpp"
+
+namespace sma::disk {
+
+enum class IoKind { kRead, kWrite };
+
+struct DiskCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t sequential = 0;  // ops that paid no positioning
+  std::uint64_t logical_bytes_read = 0;
+  std::uint64_t logical_bytes_written = 0;
+  double busy_s = 0.0;
+};
+
+/// One recorded operation (tracing enabled via enable_trace()).
+struct TraceEntry {
+  IoKind kind = IoKind::kRead;
+  std::int64_t slot = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool sequential = false;
+};
+
+class SimDisk {
+ public:
+  SimDisk(int id, DiskSpec spec, std::int64_t slot_count,
+          std::size_t content_bytes, std::uint64_t logical_element_bytes);
+
+  int id() const { return id_; }
+  const DiskSpec& spec() const { return spec_; }
+  std::int64_t slot_count() const { return slot_count_; }
+  std::size_t content_bytes() const { return content_bytes_; }
+  std::uint64_t logical_element_bytes() const { return logical_element_bytes_; }
+
+  // --- timing ---------------------------------------------------------
+  /// Enqueue one element access behind all prior traffic, starting no
+  /// earlier than `earliest_start`. Returns the completion time.
+  /// Fails loudly (assert) when the disk is failed; planners must not
+  /// address failed disks.
+  double submit(IoKind kind, std::int64_t slot, double earliest_start);
+
+  /// Service time the next access to `slot` would incur (no state
+  /// change); used by planners that want cost estimates.
+  double peek_service_s(IoKind kind, std::int64_t slot) const;
+
+  double busy_until() const { return busy_until_; }
+  const DiskCounters& counters() const { return counters_; }
+
+  /// Forget head position and timeline (new experiment), keep contents.
+  void reset_timeline();
+  /// Zero counters only.
+  void reset_counters();
+
+  /// Start recording every submitted op (off by default; recording a
+  /// long experiment costs memory proportional to its op count).
+  void enable_trace(bool on = true) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  // --- content ----------------------------------------------------------
+  std::span<std::uint8_t> content(std::int64_t slot);
+  std::span<const std::uint8_t> content(std::int64_t slot) const;
+
+  // --- failure ----------------------------------------------------------
+  bool failed() const { return failed_; }
+  /// Marks the disk failed and scrambles its contents (a failed disk's
+  /// data must never be readable by accident).
+  void fail();
+  /// Returns the disk to service (after a rebuild wrote fresh contents).
+  void heal() { failed_ = false; }
+
+ private:
+  int id_;
+  DiskSpec spec_;
+  std::int64_t slot_count_;
+  std::size_t content_bytes_;
+  std::uint64_t logical_element_bytes_;
+
+  double busy_until_ = 0.0;
+  std::int64_t head_slot_ = -2;  // -2: unknown position (first op seeks)
+  bool failed_ = false;
+  bool tracing_ = false;
+  DiskCounters counters_;
+  std::vector<TraceEntry> trace_;
+  std::vector<std::uint8_t> store_;
+};
+
+}  // namespace sma::disk

@@ -1,0 +1,71 @@
+#include "ec/buffer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace sma::ec {
+
+ColumnSet::ColumnSet(int columns, int rows, std::size_t element_bytes)
+    : columns_(columns),
+      rows_(rows),
+      element_bytes_(element_bytes),
+      storage_(static_cast<std::size_t>(columns) * rows * element_bytes) {
+  assert(columns > 0);
+  assert(rows > 0);
+  assert(element_bytes > 0);
+}
+
+std::size_t ColumnSet::offset(int col, int row) const {
+  assert(col >= 0 && col < columns_);
+  assert(row >= 0 && row < rows_);
+  return (static_cast<std::size_t>(col) * rows_ + row) * element_bytes_;
+}
+
+std::span<std::uint8_t> ColumnSet::element(int col, int row) {
+  return {storage_.data() + offset(col, row), element_bytes_};
+}
+
+std::span<const std::uint8_t> ColumnSet::element(int col, int row) const {
+  return {storage_.data() + offset(col, row), element_bytes_};
+}
+
+std::span<std::uint8_t> ColumnSet::column(int col) {
+  return {storage_.data() + offset(col, 0), column_bytes()};
+}
+
+std::span<const std::uint8_t> ColumnSet::column(int col) const {
+  return {storage_.data() + offset(col, 0), column_bytes()};
+}
+
+void ColumnSet::zero_column(int col) {
+  auto c = column(col);
+  std::memset(c.data(), 0, c.size());
+}
+
+void ColumnSet::zero_all() {
+  std::memset(storage_.data(), 0, storage_.size());
+}
+
+void ColumnSet::fill_pattern(std::uint64_t seed) {
+  for (int c = 0; c < columns_; ++c) {
+    for (int r = 0; r < rows_; ++r) {
+      const std::uint64_t element_seed =
+          seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                              c * rows_ + r + 1));
+      auto e = element(c, r);
+      sma::fill_pattern(element_seed, e.data(), e.size());
+    }
+  }
+}
+
+bool ColumnSet::column_equals(int col, const ColumnSet& other,
+                              int other_col) const {
+  auto a = column(col);
+  auto b = other.column(other_col);
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+}  // namespace sma::ec

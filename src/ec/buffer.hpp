@@ -1,0 +1,62 @@
+// ColumnSet — the in-memory image of one stripe: a rectangular grid of
+// fixed-size elements organized as columns (disks) of rows.
+//
+// All codecs operate on ColumnSets. Element (col, row) corresponds to
+// the paper's a(i, j): column index = disk, row index = offset on disk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sma::ec {
+
+class ColumnSet {
+ public:
+  ColumnSet() = default;
+  ColumnSet(int columns, int rows, std::size_t element_bytes);
+
+  int columns() const { return columns_; }
+  int rows() const { return rows_; }
+  std::size_t element_bytes() const { return element_bytes_; }
+  std::size_t column_bytes() const {
+    return static_cast<std::size_t>(rows_) * element_bytes_;
+  }
+
+  /// Mutable view of one element.
+  std::span<std::uint8_t> element(int col, int row);
+  std::span<const std::uint8_t> element(int col, int row) const;
+
+  /// Whole-column views (rows concatenated top to bottom).
+  std::span<std::uint8_t> column(int col);
+  std::span<const std::uint8_t> column(int col) const;
+
+  /// Zero every byte of one column (used to model an erased disk).
+  void zero_column(int col);
+  void zero_all();
+
+  /// Fill all data with a deterministic pattern derived from `seed`;
+  /// element (c, r) gets an independent stream so corruption of any
+  /// single element is detectable.
+  void fill_pattern(std::uint64_t seed);
+
+  /// Byte-wise equality of one column against another set's column.
+  bool column_equals(int col, const ColumnSet& other, int other_col) const;
+
+  bool same_shape(const ColumnSet& other) const {
+    return columns_ == other.columns_ && rows_ == other.rows_ &&
+           element_bytes_ == other.element_bytes_;
+  }
+
+ private:
+  int columns_ = 0;
+  int rows_ = 0;
+  std::size_t element_bytes_ = 0;
+  // One contiguous allocation, column-major: cache-friendly for the
+  // column-at-a-time access pattern of encode/decode.
+  std::vector<std::uint8_t> storage_;
+
+  std::size_t offset(int col, int row) const;
+};
+
+}  // namespace sma::ec

@@ -1,0 +1,52 @@
+// EVENODD (Blaum, Brady, Bruck, Menon 1995) — the classic horizontal
+// RAID-6 code the paper compares against.
+//
+// The code is defined over a prime p: (p-1) rows by p data columns plus
+// a row-parity column P and a diagonal-parity column Q. We support any
+// data-column count k by *shortening*: internally the code runs at the
+// smallest odd prime p >= k with the absent columns fixed at zero —
+// exactly the "shorten" method ([22] in the paper) that makes RAID-6
+// reconstruction reads slightly worse, which Fig. 7 notes.
+#pragma once
+
+#include "ec/codec.hpp"
+
+namespace sma::ec {
+
+class EvenOddCodec final : public Codec {
+ public:
+  explicit EvenOddCodec(int data_columns);
+
+  std::string name() const override;
+  int data_columns() const override { return k_; }
+  int parity_columns() const override { return 2; }
+  int rows() const override { return p_ - 1; }
+  int fault_tolerance() const override { return 2; }
+
+  /// The internal prime the shortened code runs at.
+  int prime() const { return p_; }
+
+  Status encode(ColumnSet& stripe) const override;
+  Status decode(ColumnSet& stripe, const std::vector<int>& erased) const override;
+
+ private:
+  int k_;  // logical data columns (shortened)
+  int p_;  // internal prime, >= max(3, k_)
+
+  int p_col() const { return k_; }
+  int q_col() const { return k_ + 1; }
+
+  /// XOR of the cells of diagonal l (i+j == l mod p, i <= p-2) over the
+  /// real data columns, excluding any column in `skip` (-1 = none).
+  /// Result written into `out` (element_bytes long).
+  void diagonal_known(const ColumnSet& stripe, int l, int skip_a, int skip_b,
+                      std::span<std::uint8_t> out) const;
+
+  Status decode_one_data_and_p(ColumnSet& stripe, int r) const;
+  Status decode_two_data(ColumnSet& stripe, int r, int s) const;
+  Status recover_data_by_rows(ColumnSet& stripe, int r) const;
+  void encode_p(ColumnSet& stripe) const;
+  void encode_q(ColumnSet& stripe) const;
+};
+
+}  // namespace sma::ec

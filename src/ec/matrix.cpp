@@ -1,0 +1,116 @@
+#include "ec/matrix.hpp"
+
+#include <cassert>
+
+#include "gf/gf256.hpp"
+
+namespace sma::ec {
+
+GfMatrix::GfMatrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      cells_(static_cast<std::size_t>(rows) * cols, 0) {
+  assert(rows > 0);
+  assert(cols > 0);
+}
+
+std::size_t GfMatrix::index(int r, int c) const {
+  assert(r >= 0 && r < rows_);
+  assert(c >= 0 && c < cols_);
+  return static_cast<std::size_t>(r) * cols_ + c;
+}
+
+GfMatrix GfMatrix::identity(int n) {
+  GfMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+GfMatrix GfMatrix::multiply(const GfMatrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  GfMatrix out(rows_, rhs.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const std::uint8_t a = at(r, k);
+      if (a == 0) continue;
+      for (int c = 0; c < rhs.cols_; ++c) {
+        const std::uint8_t prod = gf::mul(a, rhs.at(k, c));
+        out.set(r, c, gf::add(out.at(r, c), prod));
+      }
+    }
+  }
+  return out;
+}
+
+Result<GfMatrix> GfMatrix::inverted() const {
+  if (rows_ != cols_)
+    return Status(ErrorCode::kInvalidArgument, "inverse of non-square matrix");
+  const int n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inv = identity(n);
+
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot row at or below `col`.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (work.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0)
+      return Status(ErrorCode::kFailedPrecondition, "singular matrix");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(work.cells_[work.index(pivot, c)],
+                  work.cells_[work.index(col, c)]);
+        std::swap(inv.cells_[inv.index(pivot, c)],
+                  inv.cells_[inv.index(col, c)]);
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t scale = gf::inv(work.at(col, col));
+    for (int c = 0; c < n; ++c) {
+      work.set(col, c, gf::mul(scale, work.at(col, c)));
+      inv.set(col, c, gf::mul(scale, inv.at(col, c)));
+    }
+    // Eliminate the column everywhere else.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        work.set(r, c,
+                 gf::add(work.at(r, c), gf::mul(factor, work.at(col, c))));
+        inv.set(r, c,
+                gf::add(inv.at(r, c), gf::mul(factor, inv.at(col, c))));
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix GfMatrix::select_rows(const std::vector<int>& row_indices) const {
+  GfMatrix out(static_cast<int>(row_indices.size()), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    assert(row_indices[i] >= 0 && row_indices[i] < rows_);
+    for (int c = 0; c < cols_; ++c)
+      out.set(static_cast<int>(i), c, at(row_indices[i], c));
+  }
+  return out;
+}
+
+GfMatrix make_cauchy(int m, int k) {
+  assert(m > 0 && k > 0 && m + k <= 256);
+  GfMatrix out(m, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      const auto xi = static_cast<std::uint8_t>(i);
+      const auto yj = static_cast<std::uint8_t>(m + j);
+      out.set(i, j, gf::inv(gf::add(xi, yj)));
+    }
+  }
+  return out;
+}
+
+}  // namespace sma::ec

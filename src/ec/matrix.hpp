@@ -1,0 +1,47 @@
+// Dense matrices over GF(2^8) with inversion — the linear-algebra core
+// of the Reed-Solomon codec and of generic matrix-driven decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sma::ec {
+
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(int rows, int cols);
+
+  static GfMatrix identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  std::uint8_t at(int r, int c) const { return cells_[index(r, c)]; }
+  void set(int r, int c, std::uint8_t v) { cells_[index(r, c)] = v; }
+
+  GfMatrix multiply(const GfMatrix& rhs) const;
+
+  /// Gauss-Jordan inverse. Fails with kFailedPrecondition if singular.
+  Result<GfMatrix> inverted() const;
+
+  /// New matrix formed from the given subset of row indices.
+  GfMatrix select_rows(const std::vector<int>& row_indices) const;
+
+  bool operator==(const GfMatrix& other) const = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::uint8_t> cells_;
+
+  std::size_t index(int r, int c) const;
+};
+
+/// Cauchy matrix with m rows, k cols: a[i][j] = 1 / (x_i ^ y_j) with
+/// x_i = i, y_j = m + j; requires m + k <= 256 so all points differ.
+GfMatrix make_cauchy(int m, int k);
+
+}  // namespace sma::ec

@@ -1,0 +1,21 @@
+#include "ec/prime.hpp"
+
+namespace sma::ec {
+
+bool is_prime(int n) {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0) return false;
+  for (int d = 3; d * d <= n; d += 2)
+    if (n % d == 0) return false;
+  return true;
+}
+
+int next_prime_at_least(int n) {
+  if (n <= 2) return 2;
+  int candidate = n | 1;  // first odd >= n
+  while (!is_prime(candidate)) candidate += 2;
+  return candidate;
+}
+
+}  // namespace sma::ec

@@ -1,0 +1,13 @@
+// Small-prime helpers for the prime-parameterized RAID-6 codes
+// (EVENODD needs a prime p >= data disks; RDP needs p >= data disks + 1).
+#pragma once
+
+namespace sma::ec {
+
+/// Deterministic primality for the small values RAID geometry uses.
+bool is_prime(int n);
+
+/// Smallest prime >= n (n <= 1 yields 2).
+int next_prime_at_least(int n);
+
+}  // namespace sma::ec

@@ -1,0 +1,44 @@
+#include "ec/raid5.hpp"
+
+#include <cassert>
+
+#include "gf/region.hpp"
+
+namespace sma::ec {
+
+Raid5Codec::Raid5Codec(int data_columns, int rows)
+    : data_columns_(data_columns), rows_(rows) {
+  assert(data_columns >= 1);
+  assert(rows >= 1);
+}
+
+std::string Raid5Codec::name() const {
+  return "raid5(k=" + std::to_string(data_columns_) + ")";
+}
+
+Status Raid5Codec::encode(ColumnSet& stripe) const {
+  SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  const int parity = data_columns_;
+  stripe.zero_column(parity);
+  for (int c = 0; c < data_columns_; ++c)
+    gf::region_xor(stripe.column(c), stripe.column(parity));
+  return Status::ok();
+}
+
+Status Raid5Codec::decode(ColumnSet& stripe,
+                          const std::vector<int>& erased) const {
+  SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  SMA_RETURN_IF_ERROR(check_erasures(erased));
+  if (erased.empty()) return Status::ok();
+  const int lost = erased[0];
+  // Whether the loss is a data column or the parity column, the missing
+  // column is the XOR of all the others.
+  stripe.zero_column(lost);
+  for (int c = 0; c < total_columns(); ++c) {
+    if (c == lost) continue;
+    gf::region_xor(stripe.column(c), stripe.column(lost));
+  }
+  return Status::ok();
+}
+
+}  // namespace sma::ec

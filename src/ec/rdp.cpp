@@ -1,0 +1,167 @@
+#include "ec/rdp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ec/prime.hpp"
+#include "ec/solver.hpp"
+#include "gf/region.hpp"
+
+namespace sma::ec {
+
+namespace {
+int mod(int x, int m) {
+  const int r = x % m;
+  return r < 0 ? r + m : r;
+}
+}  // namespace
+
+RdpCodec::RdpCodec(int data_columns) : k_(data_columns) {
+  assert(data_columns >= 1);
+  p_ = next_prime_at_least(std::max(3, data_columns + 1));
+}
+
+std::string RdpCodec::name() const {
+  return "rdp(k=" + std::to_string(k_) + ",p=" + std::to_string(p_) + ")";
+}
+
+std::span<const std::uint8_t> RdpCodec::uniform_element(
+    const ColumnSet& stripe, int u, int row) const {
+  assert(u >= 0 && u <= p_ - 1);
+  if (u < k_) return stripe.element(u, row);
+  if (u == p_ - 1) return stripe.element(p_col(), row);
+  return {};  // shortened virtual column: identically zero
+}
+
+void RdpCodec::encode_p(ColumnSet& stripe) const {
+  stripe.zero_column(p_col());
+  for (int j = 0; j < k_; ++j)
+    gf::region_xor(stripe.column(j), stripe.column(p_col()));
+}
+
+void RdpCodec::encode_q(ColumnSet& stripe) const {
+  // Q_l = XOR of the cells on diagonal l over uniform columns 0..p-1
+  // (data plus P), real rows only; diagonal p-1 is not stored.
+  for (int l = 0; l <= p_ - 2; ++l) {
+    auto q = stripe.element(q_col(), l);
+    gf::region_zero(q);
+    for (int u = 0; u <= p_ - 1; ++u) {
+      const int i = mod(l - u, p_);
+      if (i > p_ - 2) continue;
+      auto cell = uniform_element(stripe, u, i);
+      if (!cell.empty()) gf::region_xor(cell, q);
+    }
+  }
+}
+
+Status RdpCodec::encode(ColumnSet& stripe) const {
+  SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  encode_p(stripe);
+  encode_q(stripe);
+  return Status::ok();
+}
+
+Status RdpCodec::recover_data_by_rows(ColumnSet& stripe, int r) const {
+  stripe.zero_column(r);
+  for (int j = 0; j < k_; ++j) {
+    if (j == r) continue;
+    gf::region_xor(stripe.column(j), stripe.column(r));
+  }
+  gf::region_xor(stripe.column(p_col()), stripe.column(r));
+  return Status::ok();
+}
+
+Status RdpCodec::decode_uniform_pair(ColumnSet& stripe, int ur, int us) const {
+  // Two lost uniform columns (two data columns, or one data column and
+  // P). Unknowns: cells u_i of column ur and v_i of column us. Two
+  // relation families over the p x p array with an imaginary zero row:
+  //   rows:      u_i ^ v_i = XOR of the other uniform cells of row i
+  //              (valid because the XOR of a row across all uniform
+  //              columns is zero, P being the row parity)
+  //   diagonals: u_{<l-ur>} ^ v_{<l-us>} = Q_l ^ known_l, l <= p-2
+  // Diagonal p-1 is missing, which is exactly why peeling (the RDP
+  // paper's chain reconstruction) is needed rather than direct solves.
+  assert(ur != us);
+  const std::size_t eb = stripe.element_bytes();
+  PeelingSolver solver(eb);
+  std::vector<int> u(static_cast<std::size_t>(p_) - 1);
+  std::vector<int> v(static_cast<std::size_t>(p_) - 1);
+  for (auto& id : u) id = solver.add_unknown();
+  for (auto& id : v) id = solver.add_unknown();
+
+  std::vector<std::uint8_t> rhs(eb);
+  for (int i = 0; i <= p_ - 2; ++i) {
+    gf::region_zero(rhs);
+    for (int w = 0; w <= p_ - 1; ++w) {
+      if (w == ur || w == us) continue;
+      auto cell = uniform_element(stripe, w, i);
+      if (!cell.empty()) gf::region_xor(cell, rhs);
+    }
+    solver.add_relation({u[static_cast<std::size_t>(i)],
+                         v[static_cast<std::size_t>(i)]},
+                        rhs);
+  }
+  for (int l = 0; l <= p_ - 2; ++l) {
+    gf::region_zero(rhs);
+    for (int w = 0; w <= p_ - 1; ++w) {
+      if (w == ur || w == us) continue;
+      const int i = mod(l - w, p_);
+      if (i > p_ - 2) continue;
+      auto cell = uniform_element(stripe, w, i);
+      if (!cell.empty()) gf::region_xor(cell, rhs);
+    }
+    gf::region_xor(stripe.element(q_col(), l), rhs);
+    std::vector<int> ids;
+    const int iu = mod(l - ur, p_);
+    const int iv = mod(l - us, p_);
+    if (iu <= p_ - 2) ids.push_back(u[static_cast<std::size_t>(iu)]);
+    if (iv <= p_ - 2) ids.push_back(v[static_cast<std::size_t>(iv)]);
+    solver.add_relation(std::move(ids), rhs);
+  }
+  SMA_RETURN_IF_ERROR(solver.solve());
+
+  auto write_back = [&](int uniform, const std::vector<int>& ids) {
+    const int col = uniform == p_ - 1 ? p_col() : uniform;
+    for (int i = 0; i <= p_ - 2; ++i) {
+      auto dst = stripe.element(col, i);
+      const auto& val = solver.value(ids[static_cast<std::size_t>(i)]);
+      std::copy(val.begin(), val.end(), dst.begin());
+    }
+  };
+  write_back(ur, u);
+  write_back(us, v);
+  return Status::ok();
+}
+
+Status RdpCodec::decode(ColumnSet& stripe,
+                        const std::vector<int>& erased) const {
+  SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  SMA_RETURN_IF_ERROR(check_erasures(erased));
+
+  std::vector<int> data_lost;
+  bool p_lost = false;
+  bool q_lost = false;
+  for (const int col : erased) {
+    if (col == p_col()) p_lost = true;
+    else if (col == q_col()) q_lost = true;
+    else data_lost.push_back(col);
+  }
+
+  if (data_lost.size() == 2) {
+    const int r = std::min(data_lost[0], data_lost[1]);
+    const int s = std::max(data_lost[0], data_lost[1]);
+    return decode_uniform_pair(stripe, r, s);
+  }
+  if (data_lost.size() == 1) {
+    const int r = data_lost[0];
+    if (p_lost) return decode_uniform_pair(stripe, r, p_ - 1);
+    SMA_RETURN_IF_ERROR(recover_data_by_rows(stripe, r));
+    if (q_lost) encode_q(stripe);
+    return Status::ok();
+  }
+  if (p_lost) encode_p(stripe);
+  if (q_lost) encode_q(stripe);
+  return Status::ok();
+}
+
+}  // namespace sma::ec

@@ -1,0 +1,70 @@
+#include "ec/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gf/region.hpp"
+
+namespace sma::ec {
+
+PeelingSolver::PeelingSolver(std::size_t element_bytes)
+    : element_bytes_(element_bytes) {
+  assert(element_bytes > 0);
+}
+
+int PeelingSolver::add_unknown() {
+  values_.emplace_back(element_bytes_, 0);
+  solved_.push_back(false);
+  return static_cast<int>(values_.size()) - 1;
+}
+
+void PeelingSolver::add_relation(std::vector<int> unknown_ids,
+                                 std::vector<std::uint8_t> rhs) {
+  assert(rhs.size() == element_bytes_);
+  for ([[maybe_unused]] const int id : unknown_ids)
+    assert(id >= 0 && id < static_cast<int>(values_.size()));
+  relations_.push_back({std::move(unknown_ids), std::move(rhs)});
+}
+
+Status PeelingSolver::solve() {
+  std::size_t unsolved =
+      static_cast<std::size_t>(std::count(solved_.begin(), solved_.end(), false));
+  bool progressed = true;
+  while (unsolved > 0 && progressed) {
+    progressed = false;
+    for (auto& rel : relations_) {
+      // Drop ids that were solved since we last touched this relation,
+      // folding their values into the rhs.
+      auto keep = rel.unknowns.begin();
+      for (const int id : rel.unknowns) {
+        if (solved_[static_cast<std::size_t>(id)]) {
+          gf::region_xor(values_[static_cast<std::size_t>(id)], rel.rhs);
+        } else {
+          *keep++ = id;
+        }
+      }
+      rel.unknowns.erase(keep, rel.unknowns.end());
+
+      if (rel.unknowns.size() == 1) {
+        const int id = rel.unknowns[0];
+        values_[static_cast<std::size_t>(id)] = rel.rhs;
+        solved_[static_cast<std::size_t>(id)] = true;
+        rel.unknowns.clear();
+        --unsolved;
+        progressed = true;
+      }
+    }
+  }
+  if (unsolved > 0)
+    return unrecoverable("peeling solver stuck with " +
+                         std::to_string(unsolved) + " unknowns unresolved");
+  return Status::ok();
+}
+
+const std::vector<std::uint8_t>& PeelingSolver::value(int id) const {
+  assert(id >= 0 && id < static_cast<int>(values_.size()));
+  assert(solved_[static_cast<std::size_t>(id)]);
+  return values_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace sma::ec

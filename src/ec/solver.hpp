@@ -1,0 +1,54 @@
+// XOR peeling solver.
+//
+// EVENODD and RDP double-erasure decoding both reduce to a system of
+// XOR relations (each relation: XOR of some unknown buffers equals a
+// known buffer) that is solvable by peeling: repeatedly find a relation
+// with exactly one unresolved unknown and substitute. This mirrors the
+// codes' published "zigzag" reconstructions but in a form that is
+// uniform across codes and trivially auditable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sma::ec {
+
+class PeelingSolver {
+ public:
+  /// All unknowns and relation right-hand sides are buffers of
+  /// `element_bytes` bytes.
+  explicit PeelingSolver(std::size_t element_bytes);
+
+  /// Register a new unknown; returns its id. Its value is all-zero
+  /// until solved.
+  int add_unknown();
+
+  /// Add the relation: XOR_{id in unknown_ids} value(id) == rhs.
+  /// `unknown_ids` may be empty (then rhs must be zero for consistency,
+  /// which solve() does not enforce — such relations are ignored).
+  void add_relation(std::vector<int> unknown_ids,
+                    std::vector<std::uint8_t> rhs);
+
+  /// Run peeling. Fails with kUnrecoverable if the system does not
+  /// fully resolve (peeling gets stuck), which for our codes indicates
+  /// an unsupported erasure pattern or an internal bug.
+  Status solve();
+
+  /// Value of unknown `id` after a successful solve().
+  const std::vector<std::uint8_t>& value(int id) const;
+
+ private:
+  struct Relation {
+    std::vector<int> unknowns;  // unresolved ids only
+    std::vector<std::uint8_t> rhs;
+  };
+
+  std::size_t element_bytes_;
+  std::vector<std::vector<std::uint8_t>> values_;
+  std::vector<bool> solved_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace sma::ec

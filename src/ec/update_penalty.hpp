@@ -1,0 +1,43 @@
+// Small-write update penalty of an erasure code.
+//
+// The paper's background section (citing Blaum-Roth and Blaum-Bruck-
+// Vardy, its [19, 20]) argues that horizontal RAID-6 codes cannot
+// achieve the theoretically optimal updating efficiency: changing one
+// data element can force updates to more than two parity elements
+// (EVENODD is the extreme case — an element on the "S diagonal"
+// touches every Q element). The mirror methods update exactly
+// 1 replica (+1 parity element with the parity disk), which is the
+// optimum for their fault tolerance.
+//
+// This module measures the penalty for ANY codec, black-box: flip one
+// data element, re-encode, and count changed parity elements.
+#pragma once
+
+#include "ec/codec.hpp"
+
+namespace sma::ec {
+
+struct UpdatePenalty {
+  /// changed[i][j] = parity elements that change when data element
+  /// (column i, row j) changes.
+  std::vector<std::vector<int>> changed;
+  double average = 0.0;
+  int min = 0;
+  int max = 0;
+};
+
+/// Measure the per-element parity-update counts of `codec` by
+/// differential re-encoding. Deterministic; cost is one encode per
+/// data element.
+Result<UpdatePenalty> measure_update_penalty(const Codec& codec,
+                                             std::size_t element_bytes = 16,
+                                             std::uint64_t seed = 1);
+
+/// The theoretical optimum for an MDS-style code of the given fault
+/// tolerance: every data change must touch one parity element per
+/// tolerated failure beyond the first copy.
+constexpr int optimal_parity_updates(int fault_tolerance) {
+  return fault_tolerance;
+}
+
+}  // namespace sma::ec

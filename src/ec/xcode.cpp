@@ -1,0 +1,103 @@
+#include "ec/xcode.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ec/prime.hpp"
+#include "ec/solver.hpp"
+#include "gf/region.hpp"
+
+namespace sma::ec {
+
+namespace {
+int mod(int x, int m) {
+  const int r = x % m;
+  return r < 0 ? r + m : r;
+}
+}  // namespace
+
+XCodec::XCodec(int columns) : p_(columns) {
+  assert(is_prime(columns) && columns >= 3 &&
+         "X-code requires a prime column count >= 3");
+}
+
+std::string XCodec::name() const {
+  return "x-code(p=" + std::to_string(p_) + ")";
+}
+
+Status XCodec::encode(ColumnSet& stripe) const {
+  SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  for (int i = 0; i < p_; ++i) {
+    auto up = stripe.element(i, p_ - 2);    // slope +1 parity
+    auto down = stripe.element(i, p_ - 1);  // slope -1 parity
+    gf::region_zero(up);
+    gf::region_zero(down);
+    for (int k = 0; k <= p_ - 3; ++k) {
+      gf::region_xor(stripe.element(mod(i + k + 2, p_), k), up);
+      gf::region_xor(stripe.element(mod(i - k - 2, p_), k), down);
+    }
+  }
+  return Status::ok();
+}
+
+Status XCodec::decode_two_columns(ColumnSet& stripe, int a, int b) const {
+  // Unknowns: every cell (data + the two parity tails) of the erased
+  // columns. Relations: the 2p diagonal constraints, each written as
+  // XOR(diagonal data cells) XOR parity cell == 0.
+  const std::size_t eb = stripe.element_bytes();
+  PeelingSolver solver(eb);
+
+  // id of unknown for cell (col, row) in an erased column; -1 for known.
+  auto unknown_index = [&](int col, int row) -> int {
+    if (col == a) return row;
+    if (col == b && b >= 0) return p_ + row;
+    return -1;
+  };
+  const int unknown_count = b >= 0 ? 2 * p_ : p_;
+  for (int u = 0; u < unknown_count; ++u) solver.add_unknown();
+
+  std::vector<std::uint8_t> rhs(eb);
+  for (int slope = 0; slope < 2; ++slope) {
+    for (int i = 0; i < p_; ++i) {
+      gf::region_zero(rhs);
+      std::vector<int> ids;
+      auto visit = [&](int col, int row) {
+        const int id = unknown_index(col, row);
+        if (id >= 0)
+          ids.push_back(id);
+        else
+          gf::region_xor(stripe.element(col, row), rhs);
+      };
+      for (int k = 0; k <= p_ - 3; ++k)
+        visit(mod(slope == 0 ? i + k + 2 : i - k - 2, p_), k);
+      visit(i, slope == 0 ? p_ - 2 : p_ - 1);
+      solver.add_relation(std::move(ids), rhs);
+    }
+  }
+  SMA_RETURN_IF_ERROR(solver.solve());
+
+  for (int row = 0; row < p_; ++row) {
+    auto da = stripe.element(a, row);
+    const auto& va = solver.value(row);
+    std::copy(va.begin(), va.end(), da.begin());
+    if (b >= 0) {
+      auto db = stripe.element(b, row);
+      const auto& vb = solver.value(p_ + row);
+      std::copy(vb.begin(), vb.end(), db.begin());
+    }
+  }
+  return Status::ok();
+}
+
+Status XCodec::decode(ColumnSet& stripe,
+                      const std::vector<int>& erased) const {
+  SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  SMA_RETURN_IF_ERROR(check_erasures(erased));
+  if (erased.empty()) return Status::ok();
+  if (erased.size() == 1) return decode_two_columns(stripe, erased[0], -1);
+  const int a = std::min(erased[0], erased[1]);
+  const int b = std::max(erased[0], erased[1]);
+  return decode_two_columns(stripe, a, b);
+}
+
+}  // namespace sma::ec

@@ -1,0 +1,56 @@
+#include "gf/gf256.hpp"
+
+#include <cassert>
+
+namespace sma::gf {
+
+const Tables& Tables::instance() {
+  static const Tables tables;
+  return tables;
+}
+
+Tables::Tables() {
+  // Generate the cyclic group under the primitive element 2.
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    exp_[i + 255] = static_cast<std::uint8_t>(x);
+    log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPrimitivePoly;
+  }
+  log_[0] = 0;  // sentinel; callers must not take log(0)
+}
+
+std::uint8_t Tables::div(std::uint8_t a, std::uint8_t b) const {
+  assert(b != 0 && "division by zero in GF(256)");
+  if (a == 0) return 0;
+  return exp_[static_cast<unsigned>(log_[a]) + 255 - log_[b]];
+}
+
+std::uint8_t Tables::inv(std::uint8_t a) const {
+  assert(a != 0 && "zero has no inverse in GF(256)");
+  return exp_[255 - log_[a]];
+}
+
+std::uint8_t Tables::pow(std::uint8_t a, unsigned k) const {
+  if (k == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned e = (static_cast<unsigned>(log_[a]) * k) % 255;
+  return exp_[e];
+}
+
+std::uint8_t mul_slow(std::uint8_t a, std::uint8_t b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb) {
+    if (bb & 1) acc ^= aa;
+    bb >>= 1;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= kPrimitivePoly;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+}  // namespace sma::gf

@@ -1,0 +1,74 @@
+#include "gf/region.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "gf/gf256.hpp"
+
+namespace sma::gf {
+
+void region_xor(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+  // Bulk path on 8-byte words; memcpy keeps this free of alignment UB and
+  // compiles to plain loads/stores.
+  while (i + 8 <= n) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, src.data() + i, 8);
+    std::memcpy(&b, dst.data() + i, 8);
+    b ^= a;
+    std::memcpy(dst.data() + i, &b, 8);
+    i += 8;
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) {
+    region_zero(dst);
+    return;
+  }
+  if (c == 1) {
+    if (dst.data() != src.data())
+      std::memmove(dst.data(), src.data(), dst.size());
+    return;
+  }
+  // Build the 256-entry row table for this constant once per call; for
+  // the multi-KiB regions the codecs use, the table cost is negligible.
+  const auto& t = Tables::instance();
+  std::uint8_t row[256];
+  for (unsigned v = 0; v < 256; ++v)
+    row[v] = t.mul(c, static_cast<std::uint8_t>(v));
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = row[src[i]];
+}
+
+void region_mul_xor(std::uint8_t c, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) return;
+  if (c == 1) {
+    region_xor(src, dst);
+    return;
+  }
+  const auto& t = Tables::instance();
+  std::uint8_t row[256];
+  for (unsigned v = 0; v < 256; ++v)
+    row[v] = t.mul(c, static_cast<std::uint8_t>(v));
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void region_zero(std::span<std::uint8_t> dst) {
+  std::memset(dst.data(), 0, dst.size());
+}
+
+bool region_is_zero(std::span<const std::uint8_t> buf) {
+  for (const auto b : buf)
+    if (b != 0) return false;
+  return true;
+}
+
+}  // namespace sma::gf

@@ -1,0 +1,30 @@
+// Bulk buffer operations over GF(2^8) — the "region" primitives that
+// erasure codecs are built from (Jerasure's galois_region_xor /
+// galois_w08_region_multiply equivalents).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sma::gf {
+
+/// dst[i] ^= src[i]. Word-vectorized; buffers may not alias partially
+/// (dst == src is allowed and zeroes dst).
+void region_xor(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+
+/// dst[i] = c * src[i] over GF(256). c == 0 zeroes dst, c == 1 copies.
+void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst);
+
+/// dst[i] ^= c * src[i] — the multiply-accumulate used by matrix codecs.
+void region_mul_xor(std::uint8_t c, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst);
+
+/// Zero a buffer.
+void region_zero(std::span<std::uint8_t> dst);
+
+/// true if every byte is zero.
+bool region_is_zero(std::span<const std::uint8_t> buf);
+
+}  // namespace sma::gf

@@ -1,0 +1,88 @@
+// Stripe-level RAID architectures assembled from arrangements + codecs.
+//
+// An Architecture fixes the disk population of one stripe (global disk
+// indices), the per-disk row count, and — for mirror organizations —
+// the element arrangement in the mirror array. The reconstruction
+// planner (src/recon) consumes this description to derive read plans.
+//
+// Global disk numbering:
+//   mirror kinds:          [0, n) data, [n, 2n) mirror, {2n} parity (if any)
+//   raid5:                 [0, n) data, {n} parity
+//   raid6 (shortened):     [0, n) data, {n, n+1} parity (P, Q)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "layout/arrangement.hpp"
+
+namespace sma::layout {
+
+enum class ArchKind {
+  kMirrorTraditional,
+  kMirrorShifted,
+  kMirrorParityTraditional,
+  kMirrorParityShifted,
+  kRaid5,
+  kRaid6,
+};
+
+enum class DiskRole { kData, kMirror, kParity };
+
+class Architecture {
+ public:
+  /// RAID-1 style: n data disks + n mirror disks, n rows per stripe.
+  static Architecture mirror(int n, bool shifted);
+
+  /// Fault-tolerance-2 variant: adds one parity disk with
+  /// c_j = XOR_i a(i, j) (paper Section V).
+  static Architecture mirror_with_parity(int n, bool shifted);
+
+  /// Comparators from the paper's background section.
+  static Architecture raid5(int n);
+  /// RAID-6 via a shortened prime code (rows = p-1, p = smallest prime
+  /// >= n+1), matching the paper's Fig. 7 "shorten"-method comparator.
+  static Architecture raid6(int n);
+
+  ArchKind kind() const { return kind_; }
+  int n() const { return n_; }
+  int rows() const { return rows_; }
+  int total_disks() const { return total_disks_; }
+  int fault_tolerance() const;
+  double storage_efficiency() const;
+  std::string name() const;
+
+  bool is_mirror() const;
+  bool is_shifted() const;
+  bool has_parity() const;
+  int parity_disks() const;
+
+  /// Arrangement of the mirror array; nullptr for RAID-5/6.
+  const MirrorArrangement* arrangement() const { return arrangement_.get(); }
+
+  // --- global disk index helpers -------------------------------------
+  int data_disk(int i) const;
+  int mirror_disk(int i) const;
+  int parity_disk(int which = 0) const;
+  DiskRole role_of(int disk) const;
+  /// Index within its role (data i, mirror i, or parity ordinal).
+  int role_index(int disk) const;
+
+  /// Global position of the replica of data element a(i, j); mirror
+  /// kinds only.
+  Pos replica_of(int data_disk_index, int row) const;
+  /// Which data element the mirror cell (mirror index, row) replicates;
+  /// mirror kinds only. Returned Pos.disk is the *data disk index*.
+  Pos replicated_by(int mirror_disk_index, int row) const;
+
+ private:
+  Architecture() = default;
+
+  ArchKind kind_ = ArchKind::kMirrorTraditional;
+  int n_ = 0;
+  int rows_ = 0;
+  int total_disks_ = 0;
+  std::shared_ptr<const MirrorArrangement> arrangement_;
+};
+
+}  // namespace sma::layout

@@ -1,0 +1,211 @@
+#include "layout/arrangement.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace sma::layout {
+
+namespace {
+int mod(int x, int m) {
+  const int r = x % m;
+  return r < 0 ? r + m : r;
+}
+}  // namespace
+
+Pos MirrorArrangement::data_of(int mirror_disk, int mirror_row) const {
+  const int size = n();
+  for (int i = 0; i < size; ++i) {
+    for (int j = 0; j < size; ++j) {
+      const Pos p = mirror_of(i, j);
+      if (p.disk == mirror_disk && p.row == mirror_row) return {i, j};
+    }
+  }
+  assert(false && "mirror cell not produced by any data element");
+  return {-1, -1};
+}
+
+bool MirrorArrangement::is_bijection() const {
+  const int size = n();
+  std::vector<std::vector<bool>> seen(
+      static_cast<std::size_t>(size),
+      std::vector<bool>(static_cast<std::size_t>(size), false));
+  for (int i = 0; i < size; ++i) {
+    for (int j = 0; j < size; ++j) {
+      const Pos p = mirror_of(i, j);
+      if (p.disk < 0 || p.disk >= size || p.row < 0 || p.row >= size)
+        return false;
+      auto cell = seen[static_cast<std::size_t>(p.disk)]
+                      [static_cast<std::size_t>(p.row)];
+      if (cell) return false;
+      seen[static_cast<std::size_t>(p.disk)][static_cast<std::size_t>(p.row)] =
+          true;
+    }
+  }
+  return true;
+}
+
+TraditionalArrangement::TraditionalArrangement(int n) : n_(n) {
+  assert(n >= 1);
+}
+
+Pos TraditionalArrangement::mirror_of(int data_disk, int data_row) const {
+  assert(data_disk >= 0 && data_disk < n_ && data_row >= 0 && data_row < n_);
+  return {data_disk, data_row};
+}
+
+Pos TraditionalArrangement::data_of(int mirror_disk, int mirror_row) const {
+  return {mirror_disk, mirror_row};
+}
+
+ShiftedArrangement::ShiftedArrangement(int n) : n_(n) { assert(n >= 1); }
+
+Pos ShiftedArrangement::mirror_of(int data_disk, int data_row) const {
+  assert(data_disk >= 0 && data_disk < n_ && data_row >= 0 && data_row < n_);
+  // a(i, j) -> b(<i+j>_n, i)
+  return {mod(data_disk + data_row, n_), data_disk};
+}
+
+Pos ShiftedArrangement::data_of(int mirror_disk, int mirror_row) const {
+  assert(mirror_disk >= 0 && mirror_disk < n_ && mirror_row >= 0 &&
+         mirror_row < n_);
+  // b(i, j) = a(j, <i-j>_n)
+  return {mirror_row, mod(mirror_disk - mirror_row, n_)};
+}
+
+TableArrangement::TableArrangement(std::string name,
+                                   std::vector<std::vector<Pos>> table)
+    : name_(std::move(name)), table_(std::move(table)) {
+  const int size = static_cast<int>(table_.size());
+  assert(size >= 1);
+  inverse_.assign(static_cast<std::size_t>(size),
+                  std::vector<Pos>(static_cast<std::size_t>(size), {-1, -1}));
+  for (int i = 0; i < size; ++i) {
+    assert(static_cast<int>(table_[static_cast<std::size_t>(i)].size()) ==
+           size);
+    for (int j = 0; j < size; ++j) {
+      const Pos p = table_[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+      assert(p.disk >= 0 && p.disk < size && p.row >= 0 && p.row < size);
+      auto& inv = inverse_[static_cast<std::size_t>(p.disk)]
+                          [static_cast<std::size_t>(p.row)];
+      assert(inv.disk == -1 && "table arrangement is not a bijection");
+      inv = {i, j};
+    }
+  }
+}
+
+Pos TableArrangement::mirror_of(int data_disk, int data_row) const {
+  return table_[static_cast<std::size_t>(data_disk)]
+               [static_cast<std::size_t>(data_row)];
+}
+
+Pos TableArrangement::data_of(int mirror_disk, int mirror_row) const {
+  return inverse_[static_cast<std::size_t>(mirror_disk)]
+                 [static_cast<std::size_t>(mirror_row)];
+}
+
+ArrangementPtr apply_shift_transform(const MirrorArrangement& prev) {
+  const int n = prev.n();
+  std::vector<std::vector<Pos>> table(
+      static_cast<std::size_t>(n),
+      std::vector<Pos>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Pos q = prev.mirror_of(i, j);
+      // One more application of: column index becomes row, row shifts
+      // the destination column.
+      table[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = {
+          mod(q.disk + q.row, n), q.disk};
+    }
+  }
+  return std::make_unique<TableArrangement>(prev.name() + "+shift",
+                                            std::move(table));
+}
+
+ArrangementPtr make_iterated(int n, int iterations) {
+  assert(iterations >= 0);
+  ArrangementPtr current = std::make_unique<TraditionalArrangement>(n);
+  for (int step = 0; step < iterations; ++step)
+    current = apply_shift_transform(*current);
+  // Give the composite a concise name.
+  std::vector<std::vector<Pos>> table(
+      static_cast<std::size_t>(n),
+      std::vector<Pos>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      table[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          current->mirror_of(i, j);
+  return std::make_unique<TableArrangement>(
+      "iterated(" + std::to_string(iterations) + ")", std::move(table));
+}
+
+Result<ArrangementPtr> make_arrangement(const std::string& kind, int n) {
+  if (n < 1) return invalid_argument("arrangement needs n >= 1");
+  if (kind == "traditional")
+    return ArrangementPtr(std::make_unique<TraditionalArrangement>(n));
+  if (kind == "shifted")
+    return ArrangementPtr(std::make_unique<ShiftedArrangement>(n));
+  return invalid_argument("unknown arrangement kind: " + kind);
+}
+
+namespace {
+/// (F(k) mod n, F(k+1) mod n), computed iteratively to avoid overflow.
+std::pair<int, int> fibonacci_mod(int k, int n) {
+  assert(k >= 0 && n >= 1);
+  int fk = 0;        // F(0)
+  int fk1 = 1 % n;   // F(1)
+  for (int step = 0; step < k; ++step) {
+    const int next = (fk + fk1) % n;
+    fk = fk1;
+    fk1 = next;
+  }
+  return {fk, fk1};
+}
+
+int gcd(int a, int b) {
+  while (b != 0) {
+    const int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+}  // namespace
+
+bool iterate_satisfies_p1p2(int n, int iterations) {
+  if (n == 1) return true;
+  const auto [fk, fk1] = fibonacci_mod(iterations, n);
+  (void)fk1;
+  // gcd(0, n) == n, so F(k) ≡ 0 (mod n) correctly fails for n > 1.
+  return gcd(fk == 0 ? n : fk, n) == 1;
+}
+
+bool iterate_satisfies_p3(int n, int iterations) {
+  if (n == 1) return true;
+  const auto [fk, fk1] = fibonacci_mod(iterations, n);
+  (void)fk;
+  return gcd(fk1 == 0 ? n : fk1, n) == 1;
+}
+
+std::string render_arrays(const MirrorArrangement& arr) {
+  const int n = arr.n();
+  // Label elements 1..n*n row-major as the paper's figures do.
+  auto label = [&](int disk, int row) { return row * n + disk + 1; };
+  std::ostringstream out;
+  out << "data disk array" << std::string(
+             static_cast<std::size_t>(std::max(1, 4 * n - 12)), ' ')
+      << " | mirror disk array (" << arr.name() << ")\n";
+  for (int row = 0; row < n; ++row) {
+    for (int disk = 0; disk < n; ++disk) out << ' ' << label(disk, row) << ' ';
+    out << "   |  ";
+    for (int disk = 0; disk < n; ++disk) {
+      const Pos src = arr.data_of(disk, row);
+      out << ' ' << label(src.disk, src.row) << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sma::layout

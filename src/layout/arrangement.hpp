@@ -1,0 +1,129 @@
+// Mirror-array element arrangements — the paper's core contribution.
+//
+// A MirrorArrangement is a bijection telling where the replica of data
+// element a(i, j) (data disk i, row j) lives inside the mirror disk
+// array. The paper's shifted arrangement is
+//
+//     mirror_of(i, j) = ( <i + j> mod n , i )
+//
+// i.e. data-disk columns become mirror rows, each loop-shifted by its
+// data-disk index (paper Section IV-A). The traditional mirror is the
+// identity map. Iterating the paper's transformation function (Section
+// VI-E, Fig. 8) yields a family of further arrangements.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sma::layout {
+
+/// A (disk, row) coordinate inside one stripe of a disk array.
+struct Pos {
+  int disk = 0;
+  int row = 0;
+  bool operator==(const Pos&) const = default;
+};
+
+class MirrorArrangement {
+ public:
+  virtual ~MirrorArrangement() = default;
+
+  virtual std::string name() const = 0;
+  virtual int n() const = 0;
+
+  /// Mirror-array position of the replica of data element a(i, j).
+  virtual Pos mirror_of(int data_disk, int data_row) const = 0;
+
+  /// Inverse: which data element the mirror cell (disk, row) replicates.
+  /// Default implementation searches; subclasses override with closed
+  /// forms where available.
+  virtual Pos data_of(int mirror_disk, int mirror_row) const;
+
+  /// True when mirror_of is a bijection on the n x n grid (sanity check
+  /// used by tests and by IteratedArrangement construction).
+  bool is_bijection() const;
+};
+
+using ArrangementPtr = std::unique_ptr<MirrorArrangement>;
+
+/// RAID-1 identity arrangement: b(i, j) = a(i, j).
+class TraditionalArrangement final : public MirrorArrangement {
+ public:
+  explicit TraditionalArrangement(int n);
+  std::string name() const override { return "traditional"; }
+  int n() const override { return n_; }
+  Pos mirror_of(int data_disk, int data_row) const override;
+  Pos data_of(int mirror_disk, int mirror_row) const override;
+
+ private:
+  int n_;
+};
+
+/// The paper's shifted arrangement: b(<i+j>_n, i) = a(i, j).
+class ShiftedArrangement final : public MirrorArrangement {
+ public:
+  explicit ShiftedArrangement(int n);
+  std::string name() const override { return "shifted"; }
+  int n() const override { return n_; }
+  Pos mirror_of(int data_disk, int data_row) const override;
+  Pos data_of(int mirror_disk, int mirror_row) const override;
+
+ private:
+  int n_;
+};
+
+/// Arrangement given by an explicit n x n table (mirror position per
+/// data element); used for the iterated transformation family and for
+/// experimenting with custom layouts.
+class TableArrangement final : public MirrorArrangement {
+ public:
+  /// table[i][j] = mirror position of a(i, j); must be a bijection.
+  TableArrangement(std::string name, std::vector<std::vector<Pos>> table);
+
+  std::string name() const override { return name_; }
+  int n() const override { return static_cast<int>(table_.size()); }
+  Pos mirror_of(int data_disk, int data_row) const override;
+  Pos data_of(int mirror_disk, int mirror_row) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<Pos>> table_;      // [disk][row] -> mirror pos
+  std::vector<std::vector<Pos>> inverse_;    // [m.disk][m.row] -> data pos
+};
+
+/// Apply the paper's transformation function once: the arrangement that
+/// maps each *column* of the previous arrangement onto a loop-shifted
+/// *row* (Fig. 8's step). Formally, if the input arrangement places the
+/// replica of a(i, j) at position q, the output places it at
+/// shift(q) = (<q.disk + q.row>_n, q.disk).
+ArrangementPtr apply_shift_transform(const MirrorArrangement& prev);
+
+/// The arrangement after `iterations` applications of the transform to
+/// the identity. iterations == 1 gives the shifted arrangement.
+ArrangementPtr make_iterated(int n, int iterations);
+
+/// Factory by name ("traditional" | "shifted").
+Result<ArrangementPtr> make_arrangement(const std::string& kind, int n);
+
+/// Closed form of the iterated transform. The transform acts linearly
+/// on coordinates: T(i, j) = (i + j, i) mod n, i.e. the matrix
+/// [[1,1],[1,0]], whose k-th power is [[F(k+1), F(k)], [F(k), F(k-1)]]
+/// with F the Fibonacci sequence. Hence the k-th iterate maps a(i, j)
+/// to mirror position (F(k+1) i + F(k) j, F(k) i + F(k-1) j) mod n.
+///
+/// This refines the paper's Section VI-E: "odd iterates satisfy P1 and
+/// P2" is exact only when gcd(F(k), n) == 1 (e.g. k = 3 has F(3) = 2,
+/// so even n breaks P1/P2); P3 holds iff gcd(F(k+1), n) == 1. For the
+/// paper's n = 3 example both statements agree with its Fig. 8.
+bool iterate_satisfies_p1p2(int n, int iterations);
+bool iterate_satisfies_p3(int n, int iterations);
+
+/// Render the data array and mirror array element labels side by side in
+/// the style of the paper's Figs. 1 and 3 (labels 1..n*n, row-major in
+/// the data array).
+std::string render_arrays(const MirrorArrangement& arr);
+
+}  // namespace sma::layout

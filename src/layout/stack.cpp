@@ -1,0 +1,37 @@
+#include "layout/stack.hpp"
+
+#include <cassert>
+
+namespace sma::layout {
+
+StackMapper::StackMapper(int total_disks) : total_disks_(total_disks) {
+  assert(total_disks >= 1);
+}
+
+int StackMapper::physical_of(int logical, int stripe) const {
+  assert(logical >= 0 && logical < total_disks_);
+  assert(stripe >= 0);
+  return (logical + stripe) % total_disks_;
+}
+
+int StackMapper::logical_of(int physical, int stripe) const {
+  assert(physical >= 0 && physical < total_disks_);
+  assert(stripe >= 0);
+  const int l = (physical - stripe) % total_disks_;
+  return l < 0 ? l + total_disks_ : l;
+}
+
+std::vector<std::vector<int>> StackMapper::failed_logical_per_stripe(
+    const std::vector<int>& failed_physical) const {
+  std::vector<std::vector<int>> out(
+      static_cast<std::size_t>(stripes_per_stack()));
+  for (int stripe = 0; stripe < stripes_per_stack(); ++stripe) {
+    auto& row = out[static_cast<std::size_t>(stripe)];
+    row.reserve(failed_physical.size());
+    for (const int phys : failed_physical)
+      row.push_back(logical_of(phys, stripe));
+  }
+  return out;
+}
+
+}  // namespace sma::layout

@@ -1,0 +1,39 @@
+// Stack rotation: logical-to-physical disk mapping rotated stripe by
+// stripe (paper Section II-A).
+//
+// A "stack" is the smallest group of stripes in which the rotation runs
+// through every cyclic logical->physical assignment, so that the loss
+// of any one (or two) physical disks covers every combination of one
+// (or two) logical disk failures. This is what lets the paper measure
+// average-case behaviour by rigorous counting on a single stripe
+// (Hafner et al.'s methodology, [14]).
+#pragma once
+
+#include <vector>
+
+namespace sma::layout {
+
+class StackMapper {
+ public:
+  explicit StackMapper(int total_disks);
+
+  int total_disks() const { return total_disks_; }
+  /// Number of stripes in one full stack (== total_disks for cyclic
+  /// rotation).
+  int stripes_per_stack() const { return total_disks_; }
+
+  /// Physical disk hosting logical disk `logical` in stripe `stripe`.
+  int physical_of(int logical, int stripe) const;
+  /// Logical disk that physical disk `physical` plays in stripe `stripe`.
+  int logical_of(int physical, int stripe) const;
+
+  /// For a set of failed *physical* disks, the failed *logical* disks in
+  /// each stripe of one stack (outer index: stripe).
+  std::vector<std::vector<int>> failed_logical_per_stripe(
+      const std::vector<int>& failed_physical) const;
+
+ private:
+  int total_disks_;
+};
+
+}  // namespace sma::layout

@@ -1,0 +1,273 @@
+#include "multimirror/multi_array.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sma::mm {
+
+double MultiReconReport::read_throughput_mbps() const {
+  return throughput_mbps(static_cast<double>(logical_bytes_read),
+                         read_makespan_s);
+}
+
+MultiMirrorArray::MultiMirrorArray(MultiMirror layout,
+                                   const MultiArrayConfig& cfg)
+    : layout_(std::move(layout)),
+      cfg_(cfg),
+      stripes_(cfg.stripes > 0 ? cfg.stripes : layout_.total_disks()),
+      mapper_(layout_.total_disks()) {
+  const std::int64_t slots =
+      static_cast<std::int64_t>(stripes_) * layout_.rows();
+  disks_.reserve(static_cast<std::size_t>(total_disks()));
+  for (int d = 0; d < total_disks(); ++d)
+    disks_.emplace_back(d, cfg_.spec, slots, cfg_.content_bytes,
+                        cfg_.logical_element_bytes);
+}
+
+Result<MultiMirrorArray> MultiMirrorArray::create(const MultiArrayConfig& cfg) {
+  auto layout = MultiMirror::create(cfg.layout);
+  if (!layout.is_ok()) return layout.status();
+  if (cfg.content_bytes == 0 || cfg.logical_element_bytes == 0)
+    return invalid_argument("element sizes must be positive");
+  return MultiMirrorArray(std::move(layout).take(), cfg);
+}
+
+int MultiMirrorArray::physical_disk(int logical, int stripe) const {
+  return cfg_.rotate ? mapper_.physical_of(logical, stripe) : logical;
+}
+
+int MultiMirrorArray::logical_disk(int physical, int stripe) const {
+  return cfg_.rotate ? mapper_.logical_of(physical, stripe) : physical;
+}
+
+std::int64_t MultiMirrorArray::slot(int stripe, int row) const {
+  assert(stripe >= 0 && stripe < stripes_);
+  assert(row >= 0 && row < layout_.rows());
+  return static_cast<std::int64_t>(stripe) * layout_.rows() + row;
+}
+
+disk::SimDisk& MultiMirrorArray::physical(int disk) {
+  assert(disk >= 0 && disk < total_disks());
+  return disks_[static_cast<std::size_t>(disk)];
+}
+
+const disk::SimDisk& MultiMirrorArray::physical(int disk) const {
+  assert(disk >= 0 && disk < total_disks());
+  return disks_[static_cast<std::size_t>(disk)];
+}
+
+std::span<std::uint8_t> MultiMirrorArray::content(int logical, int stripe,
+                                                  int row) {
+  return physical(physical_disk(logical, stripe)).content(slot(stripe, row));
+}
+
+std::span<const std::uint8_t> MultiMirrorArray::content(int logical,
+                                                        int stripe,
+                                                        int row) const {
+  return physical(physical_disk(logical, stripe)).content(slot(stripe, row));
+}
+
+void MultiMirrorArray::expected_data(int data_disk, int stripe, int row,
+                                     std::span<std::uint8_t> out) const {
+  std::uint64_t s = cfg_.seed;
+  s ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(data_disk) + 1);
+  s = splitmix64(s);
+  s ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(stripe) + 1);
+  s = splitmix64(s);
+  s ^= 0x94d049bb133111ebULL * (static_cast<std::uint64_t>(row) + 1);
+  s = splitmix64(s);
+  fill_pattern(s, out.data(), out.size());
+}
+
+void MultiMirrorArray::initialize() {
+  for (int stripe = 0; stripe < stripes_; ++stripe) {
+    for (int i = 0; i < layout_.n(); ++i) {
+      for (int j = 0; j < layout_.rows(); ++j) {
+        auto data = content(layout_.data_disk(i), stripe, j);
+        expected_data(i, stripe, j, data);
+        for (int r = 1; r <= layout_.replica_arrays(); ++r) {
+          const layout::Pos p = layout_.replica_of(r, i, j);
+          auto replica = content(p.disk, stripe, p.row);
+          std::copy(data.begin(), data.end(), replica.begin());
+        }
+      }
+    }
+  }
+}
+
+Status MultiMirrorArray::verify_all() const {
+  std::vector<std::uint8_t> expect(cfg_.content_bytes);
+  for (int stripe = 0; stripe < stripes_; ++stripe) {
+    auto live = [&](int logical) {
+      return !physical(physical_disk(logical, stripe)).failed();
+    };
+    for (int i = 0; i < layout_.n(); ++i) {
+      for (int j = 0; j < layout_.rows(); ++j) {
+        expected_data(i, stripe, j, expect);
+        for (const auto& copy : layout_.copies_of(i, j)) {
+          if (!live(copy.disk)) continue;
+          auto got = content(copy.disk, stripe, copy.row);
+          if (!std::equal(got.begin(), got.end(), expect.begin()))
+            return corruption("multi-mirror mismatch at disk " +
+                              std::to_string(copy.disk) + ", stripe " +
+                              std::to_string(stripe) + ", row " +
+                              std::to_string(copy.row));
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
+void MultiMirrorArray::fail_physical(int disk) { physical(disk).fail(); }
+
+std::vector<int> MultiMirrorArray::failed_physical() const {
+  std::vector<int> out;
+  for (int d = 0; d < total_disks(); ++d)
+    if (physical(d).failed()) out.push_back(d);
+  return out;
+}
+
+Result<MultiReconReport> MultiMirrorArray::reconstruct() {
+  const auto failed = failed_physical();
+  MultiReconReport report;
+  if (failed.empty()) return report;
+
+  // Phase 1: plan per stripe and stage recovered contents.
+  struct StagedWrite {
+    int physical_disk;
+    std::int64_t slot;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<StagedWrite> staged;
+  struct TimedRead {
+    int physical_disk;
+    std::int64_t slot;
+  };
+  std::vector<TimedRead> reads;
+
+  for (int stripe = 0; stripe < stripes_; ++stripe) {
+    std::vector<int> failed_logical;
+    for (const int p : failed) failed_logical.push_back(logical_disk(p, stripe));
+    std::sort(failed_logical.begin(), failed_logical.end());
+
+    auto plan = layout_.plan(failed_logical);
+    if (!plan.is_ok()) return plan.status();
+    report.read_accesses_per_stripe =
+        std::max(report.read_accesses_per_stripe, plan.value().read_accesses);
+
+    for (const auto& read : plan.value().unique_reads)
+      reads.push_back({physical_disk(read.disk, stripe), slot(stripe, read.row)});
+
+    for (const auto& rec : plan.value().recoveries) {
+      auto src = content(rec.from.disk, stripe, rec.from.row);
+      staged.push_back({physical_disk(rec.lost_disk, stripe),
+                        slot(stripe, rec.lost_row),
+                        std::vector<std::uint8_t>(src.begin(), src.end())});
+    }
+  }
+
+  // Phase 2: timed read phase on fresh timelines.
+  for (auto& d : disks_) d.reset_timeline();
+  double read_end = 0.0;
+  for (const auto& r : reads) {
+    read_end = std::max(
+        read_end, physical(r.physical_disk).submit(disk::IoKind::kRead,
+                                                   r.slot, 0.0));
+    report.logical_bytes_read += cfg_.logical_element_bytes;
+  }
+  report.read_makespan_s = read_end;
+
+  // Phase 3: heal, install, and time replacement writes.
+  for (const int p : failed) physical(p).heal();
+  double total_end = read_end;
+  for (const auto& w : staged) {
+    auto dst = physical(w.physical_disk).content(w.slot);
+    std::copy(w.bytes.begin(), w.bytes.end(), dst.begin());
+    total_end = std::max(
+        total_end, physical(w.physical_disk)
+                       .submit(disk::IoKind::kWrite, w.slot, read_end));
+    report.logical_bytes_recovered += cfg_.logical_element_bytes;
+  }
+  report.total_makespan_s = total_end;
+
+  SMA_RETURN_IF_ERROR(verify_all());
+  return report;
+}
+
+double MultiMirrorArray::DegradedReadReport::throughput_mbps() const {
+  return ::sma::throughput_mbps(static_cast<double>(logical_bytes_read),
+                                makespan_s);
+}
+
+Result<MultiMirrorArray::DegradedReadReport>
+MultiMirrorArray::run_degraded_reads(int read_count, std::uint64_t seed) {
+  if (read_count < 0) return invalid_argument("negative read count");
+  if (static_cast<int>(failed_physical().size()) > layout_.fault_tolerance())
+    return unrecoverable("more failures than the layout tolerates");
+
+  Rng rng(seed);
+  DegradedReadReport report;
+  std::vector<int> assigned(static_cast<std::size_t>(total_disks()), 0);
+  for (auto& d : disks_) d.reset_timeline();
+
+  double makespan = 0.0;
+  for (int k = 0; k < read_count; ++k) {
+    const int i = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(layout_.n())));
+    const int stripe = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(stripes_)));
+    const int row = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(layout_.rows())));
+
+    // Least-loaded surviving copy; prefer the data copy when healthy.
+    const auto copies = layout_.copies_of(i, row);
+    int best_phys = -1;
+    int best_row = 0;
+    bool primary = false;
+    for (std::size_t c = 0; c < copies.size(); ++c) {
+      const int phys = physical_disk(copies[c].disk, stripe);
+      if (physical(phys).failed()) continue;
+      if (c == 0) {
+        best_phys = phys;
+        best_row = copies[c].row;
+        primary = true;
+        break;
+      }
+      if (best_phys < 0 || assigned[static_cast<std::size_t>(phys)] <
+                               assigned[static_cast<std::size_t>(best_phys)]) {
+        best_phys = phys;
+        best_row = copies[c].row;
+      }
+    }
+    if (best_phys < 0)
+      return unrecoverable("element lost every copy");
+    if (!primary) ++report.degraded_reads;
+    ++assigned[static_cast<std::size_t>(best_phys)];
+    makespan = std::max(
+        makespan, physical(best_phys).submit(disk::IoKind::kRead,
+                                             slot(stripe, best_row), 0.0));
+    report.logical_bytes_read += cfg_.logical_element_bytes;
+  }
+  report.makespan_s = makespan;
+
+  int total_ops = 0;
+  int survivors = 0;
+  for (int d = 0; d < total_disks(); ++d) {
+    if (physical(d).failed()) continue;
+    ++survivors;
+    total_ops += assigned[static_cast<std::size_t>(d)];
+    report.hottest_disk_ops =
+        std::max(report.hottest_disk_ops, assigned[static_cast<std::size_t>(d)]);
+  }
+  const double mean =
+      survivors > 0 ? static_cast<double>(total_ops) / survivors : 0.0;
+  report.load_imbalance = mean > 0 ? report.hottest_disk_ops / mean : 0.0;
+  return report;
+}
+
+}  // namespace sma::mm

@@ -1,0 +1,233 @@
+#include "multimirror/multi_mirror.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace sma::mm {
+
+namespace {
+int mod(int x, int m) {
+  const int r = x % m;
+  return r < 0 ? r + m : r;
+}
+
+int gcd(int a, int b) {
+  while (b != 0) {
+    const int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Multiplicative inverse of c mod n (requires gcd(c, n) == 1).
+int inverse_mod(int c, int n) {
+  // Extended Euclid.
+  int t = 0;
+  int new_t = 1;
+  int r = n;
+  int new_r = c;
+  while (new_r != 0) {
+    const int q = r / new_r;
+    t -= q * new_t;
+    std::swap(t, new_t);
+    r -= q * new_r;
+    std::swap(r, new_r);
+  }
+  assert(r == 1 && "multiplier not coprime to n");
+  return mod(t, n);
+}
+}  // namespace
+
+Result<MultiMirror> MultiMirror::create(const MultiMirrorConfig& cfg) {
+  if (cfg.n < 1) return invalid_argument("multi-mirror needs n >= 1");
+  if (cfg.replica_arrays < 1)
+    return invalid_argument("multi-mirror needs at least one replica array");
+
+  std::vector<int> multipliers;
+  if (cfg.shifted) {
+    if (cfg.n == 1) {
+      multipliers.assign(static_cast<std::size_t>(cfg.replica_arrays), 0);
+    } else {
+      for (int c = 1; c < cfg.n &&
+                      static_cast<int>(multipliers.size()) < cfg.replica_arrays;
+           ++c)
+        if (gcd(c, cfg.n) == 1) multipliers.push_back(c);
+      if (static_cast<int>(multipliers.size()) < cfg.replica_arrays)
+        return invalid_argument(
+            "n = " + std::to_string(cfg.n) + " has only " +
+            std::to_string(multipliers.size()) +
+            " units; cannot build " + std::to_string(cfg.replica_arrays) +
+            " orthogonal shifted replica arrays");
+    }
+  }
+  return MultiMirror(cfg, std::move(multipliers));
+}
+
+std::string MultiMirror::name() const {
+  return std::string(cfg_.shifted ? "shifted" : "traditional") + "-" +
+         std::to_string(cfg_.replica_arrays + 1) + "-mirror(n=" +
+         std::to_string(cfg_.n) + ")";
+}
+
+int MultiMirror::multiplier(int array_r) const {
+  assert(array_r >= 1 && array_r <= cfg_.replica_arrays);
+  if (!cfg_.shifted) return 0;
+  return multipliers_[static_cast<std::size_t>(array_r) - 1];
+}
+
+int MultiMirror::data_disk(int i) const {
+  assert(i >= 0 && i < cfg_.n);
+  return i;
+}
+
+int MultiMirror::replica_disk(int array_r, int local) const {
+  assert(array_r >= 1 && array_r <= cfg_.replica_arrays);
+  assert(local >= 0 && local < cfg_.n);
+  return array_r * cfg_.n + local;
+}
+
+int MultiMirror::array_of(int disk) const {
+  assert(disk >= 0 && disk < total_disks());
+  return disk / cfg_.n;
+}
+
+int MultiMirror::local_index(int disk) const {
+  assert(disk >= 0 && disk < total_disks());
+  return disk % cfg_.n;
+}
+
+layout::Pos MultiMirror::replica_of(int array_r, int i, int j) const {
+  assert(i >= 0 && i < cfg_.n);
+  assert(j >= 0 && j < cfg_.n);
+  if (!cfg_.shifted) return {replica_disk(array_r, i), j};
+  const int c = multiplier(array_r);
+  if (cfg_.n == 1) return {replica_disk(array_r, 0), 0};
+  return {replica_disk(array_r, mod(i + c * j, cfg_.n)), i};
+}
+
+layout::Pos MultiMirror::source_of(int array_r, int local_disk, int row) const {
+  assert(local_disk >= 0 && local_disk < cfg_.n);
+  assert(row >= 0 && row < cfg_.n);
+  if (!cfg_.shifted) return {local_disk, row};
+  if (cfg_.n == 1) return {0, 0};
+  // Cell (d, w) of array r holds a(w, c^{-1} (d - w)).
+  const int c = multiplier(array_r);
+  const int inv = inverse_mod(c, cfg_.n);
+  return {row, mod(inv * (local_disk - row), cfg_.n)};
+}
+
+std::vector<layout::Pos> MultiMirror::copies_of(int i, int j) const {
+  std::vector<layout::Pos> out;
+  out.reserve(static_cast<std::size_t>(cfg_.replica_arrays) + 1);
+  out.push_back({data_disk(i), j});
+  for (int r = 1; r <= cfg_.replica_arrays; ++r)
+    out.push_back(replica_of(r, i, j));
+  return out;
+}
+
+Result<MultiPlan> MultiMirror::plan(const std::vector<int>& failed) const {
+  for (std::size_t a = 0; a < failed.size(); ++a) {
+    if (failed[a] < 0 || failed[a] >= total_disks())
+      return invalid_argument("failed disk out of range");
+    for (std::size_t b = a + 1; b < failed.size(); ++b)
+      if (failed[a] == failed[b])
+        return invalid_argument("duplicate failed disk");
+  }
+  if (static_cast<int>(failed.size()) > fault_tolerance())
+    return unrecoverable(name() + " cannot survive " +
+                         std::to_string(failed.size()) + " failures");
+
+  auto is_failed = [&](int disk) {
+    return std::find(failed.begin(), failed.end(), disk) != failed.end();
+  };
+
+  // Enumerate lost elements (as data coordinates) per failed disk, then
+  // pick, for each, the least-loaded surviving copy. Reads of the same
+  // surviving cell are shared across the copies they feed.
+  MultiPlan out;
+  std::vector<int> load(static_cast<std::size_t>(total_disks()), 0);
+  std::set<ReadAt> reads;
+
+  for (const int disk : failed) {
+    const int arr = array_of(disk);
+    for (int row = 0; row < rows(); ++row) {
+      // Which data element did this cell hold?
+      layout::Pos src;  // (data disk, data row)
+      if (arr == 0)
+        src = {local_index(disk), row};
+      else
+        src = source_of(arr, local_index(disk), row);
+
+      // Candidate surviving copies.
+      const auto copies = copies_of(src.disk, src.row);
+      const layout::Pos* best = nullptr;
+      for (const auto& copy : copies) {
+        if (copy.disk == disk || is_failed(copy.disk)) continue;
+        // Prefer a copy we already read (free), else least-loaded disk.
+        const bool already = reads.count({copy.disk, copy.row}) > 0;
+        if (already) {
+          best = &copy;
+          break;
+        }
+        if (best == nullptr ||
+            load[static_cast<std::size_t>(copy.disk)] <
+                load[static_cast<std::size_t>(best->disk)])
+          best = &copy;
+      }
+      if (best == nullptr)
+        return unrecoverable("element (" + std::to_string(src.disk) + "," +
+                             std::to_string(src.row) +
+                             ") lost every copy");
+      const ReadAt read{best->disk, best->row};
+      if (reads.insert(read).second)
+        ++load[static_cast<std::size_t>(best->disk)];
+      out.recoveries.push_back({disk, row, read});
+    }
+  }
+
+  out.unique_reads.assign(reads.begin(), reads.end());
+  out.read_accesses = *std::max_element(load.begin(), load.end());
+  return out;
+}
+
+std::vector<MultiMirror::CaseRow> MultiMirror::enumerate_double_failure_cases()
+    const {
+  std::map<std::string, CaseRow> buckets;
+  for (int a = 0; a < total_disks(); ++a) {
+    for (int b = a + 1; b < total_disks(); ++b) {
+      const int ra = array_of(a);
+      const int rb = array_of(b);
+      std::string label;
+      if (ra == 0 && rb == 0) label = "both data";
+      else if (ra == 0) label = "data + replica array";
+      else if (ra == rb) label = "same replica array";
+      else label = "two replica arrays";
+
+      auto planned = plan({a, b});
+      assert(planned.is_ok());
+      const int accesses = planned.value().read_accesses;
+      auto& row = buckets[label];
+      row.label = label;
+      if (row.cases == 0) {
+        row.min_accesses = accesses;
+        row.max_accesses = accesses;
+      }
+      row.avg_accesses =
+          (row.avg_accesses * static_cast<double>(row.cases) + accesses) /
+          static_cast<double>(row.cases + 1);
+      ++row.cases;
+      row.min_accesses = std::min(row.min_accesses, accesses);
+      row.max_accesses = std::max(row.max_accesses, accesses);
+    }
+  }
+  std::vector<CaseRow> out;
+  out.reserve(buckets.size());
+  for (auto& [label, row] : buckets) out.push_back(row);
+  return out;
+}
+
+}  // namespace sma::mm

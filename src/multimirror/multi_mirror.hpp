@@ -1,0 +1,133 @@
+// Multi-mirror (R-replica) extension of the shifted element
+// arrangement — the paper's stated future work: "extend our current
+// shifted element arrangement to cope with ... the three-mirror method
+// used in [GFS, Ceph]".
+//
+// Construction. Replica array r (1-based) stores the copy of data
+// element a(i, j) at the *affine* position
+//
+//     ( <i + c_r * j> mod n , i )
+//
+// which generalizes the paper's shifted arrangement (c = 1). For any
+// multiplier c coprime to n the affine arrangement satisfies all three
+// of the paper's properties:
+//   P1/P2 need j -> i + c*j injective  (gcd(c, n) == 1),
+//   P3    needs i -> i + c*j injective (always).
+// Distinct multipliers give "orthogonal" arrays: a failed data disk x
+// and a failed replica disk y in array r overlap in exactly ONE element
+// per stripe (j = c_r^{-1}(y - x)), and two failed replica disks in
+// different arrays overlap in exactly one source element — so R
+// replica arrays tolerate any R disk failures while reconstruction
+// reads stay spread one-per-disk.
+//
+// The traditional three-mirror baseline (identity arrangements
+// everywhere) is available via shifted = false.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/arrangement.hpp"
+#include "util/status.hpp"
+
+namespace sma::mm {
+
+struct MultiMirrorConfig {
+  /// Data disks per array; also rows per stripe.
+  int n = 3;
+  /// Replica arrays R (>= 1). R = 1 is the paper's mirror method;
+  /// R = 2 the three-mirror method (3 copies of every element).
+  int replica_arrays = 2;
+  /// true: affine shifted arrangements with distinct multipliers;
+  /// false: traditional identical copies.
+  bool shifted = true;
+};
+
+/// One element read: (global disk, row) within a stripe.
+struct ReadAt {
+  int disk = 0;
+  int row = 0;
+  bool operator==(const ReadAt&) const = default;
+  auto operator<=>(const ReadAt&) const = default;
+};
+
+/// Recovery source chosen for one lost element.
+struct RecoverySource {
+  int lost_disk = 0;   // global index of the disk that lost the element
+  int lost_row = 0;
+  ReadAt from;         // where the surviving copy is read
+};
+
+struct MultiPlan {
+  std::vector<RecoverySource> recoveries;
+  /// Paper metric: max per-disk read count (reads are deduplicated —
+  /// one physical read can feed several lost copies of the same
+  /// element).
+  int read_accesses = 0;
+  std::vector<ReadAt> unique_reads;
+};
+
+class MultiMirror {
+ public:
+  /// Validates the configuration: shifted mode needs R distinct
+  /// multipliers coprime to n (i.e. phi(n) >= R).
+  static Result<MultiMirror> create(const MultiMirrorConfig& cfg);
+
+  int n() const { return cfg_.n; }
+  int replica_arrays() const { return cfg_.replica_arrays; }
+  bool shifted() const { return cfg_.shifted; }
+  int rows() const { return cfg_.n; }
+  int total_disks() const { return (cfg_.replica_arrays + 1) * cfg_.n; }
+  int fault_tolerance() const { return cfg_.replica_arrays; }
+  double storage_efficiency() const {
+    return 1.0 / (cfg_.replica_arrays + 1);
+  }
+  std::string name() const;
+
+  /// Multiplier used by replica array r (1-based); 0 for traditional.
+  int multiplier(int array_r) const;
+
+  // --- disk numbering: data [0, n), array r occupies [r*n, (r+1)*n) ----
+  int data_disk(int i) const;
+  int replica_disk(int array_r, int local) const;
+  /// 0 for the data array, 1..R for replica arrays.
+  int array_of(int disk) const;
+  int local_index(int disk) const;
+
+  /// Position of the copy of a(i, j) in replica array r (global disk).
+  layout::Pos replica_of(int array_r, int data_disk_index, int row) const;
+  /// Which data element the cell (disk in array r, row) stores.
+  /// Returned Pos.disk is the data-disk index.
+  layout::Pos source_of(int array_r, int local_disk, int row) const;
+
+  /// Every location (data + all replicas) holding data element (i, j),
+  /// as global (disk, row) pairs; data copy first.
+  std::vector<layout::Pos> copies_of(int data_disk_index, int row) const;
+
+  /// Greedy least-loaded reconstruction plan for a set of failed global
+  /// disks. kUnrecoverable if any element loses all R+1 copies (only
+  /// possible beyond the fault tolerance).
+  Result<MultiPlan> plan(const std::vector<int>& failed) const;
+
+  /// Table-I analogue for the multi-mirror layout: all C(total, 2)
+  /// double failures grouped by which arrays the failed disks belong
+  /// to, with the read-access statistics of each class.
+  struct CaseRow {
+    std::string label;
+    long cases = 0;
+    double avg_accesses = 0.0;
+    int min_accesses = 0;
+    int max_accesses = 0;
+  };
+  std::vector<CaseRow> enumerate_double_failure_cases() const;
+
+ private:
+  explicit MultiMirror(MultiMirrorConfig cfg, std::vector<int> multipliers)
+      : cfg_(cfg), multipliers_(std::move(multipliers)) {}
+
+  MultiMirrorConfig cfg_;
+  /// multipliers_[r-1] = c_r for replica array r (shifted mode).
+  std::vector<int> multipliers_;
+};
+
+}  // namespace sma::mm

@@ -1,0 +1,153 @@
+#include "multimirror/multi_online.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sma::mm {
+
+namespace {
+
+struct Job {
+  std::int64_t slot = 0;
+  double arrival = 0.0;
+  bool is_user = false;
+  bool is_degraded = false;
+};
+
+struct DiskQueue {
+  std::deque<Job> user;
+  std::deque<Job> rebuild;
+  bool busy = false;
+};
+
+}  // namespace
+
+Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
+                                                 const MmOnlineConfig& cfg) {
+  const auto& layout = arr.layout();
+  const auto failed = arr.failed_physical();
+  if (failed.empty())
+    return invalid_argument("no failed disks to rebuild on-line");
+  if (static_cast<int>(failed.size()) > layout.fault_tolerance())
+    return unrecoverable("failures exceed the layout's tolerance");
+  if (cfg.user_read_rate_hz <= 0 || cfg.max_user_reads < 0)
+    return invalid_argument("invalid online workload parameters");
+
+  std::vector<DiskQueue> queues(static_cast<std::size_t>(arr.total_disks()));
+  std::size_t rebuild_jobs = 0;
+  for (int s = 0; s < arr.stripes(); ++s) {
+    std::vector<int> failed_logical;
+    for (const int p : failed) failed_logical.push_back(arr.logical_disk(p, s));
+    std::sort(failed_logical.begin(), failed_logical.end());
+    auto plan = layout.plan(failed_logical);
+    if (!plan.is_ok()) return plan.status();
+    for (const auto& read : plan.value().unique_reads) {
+      const int phys = arr.physical_disk(read.disk, s);
+      queues[static_cast<std::size_t>(phys)].rebuild.push_back(
+          {arr.slot(s, read.row), 0.0, false, false});
+      ++rebuild_jobs;
+    }
+  }
+
+  for (int d = 0; d < arr.total_disks(); ++d)
+    if (!arr.physical(d).failed()) arr.physical(d).reset_timeline();
+  sim::Simulation sim;
+  Rng rng(cfg.seed);
+
+  MmOnlineReport report;
+  SampleSet latencies;
+  std::size_t rebuild_remaining = rebuild_jobs;
+  std::vector<int> user_load(static_cast<std::size_t>(arr.total_disks()), 0);
+
+  std::function<void(int)> dispatch = [&](int disk) {
+    auto& q = queues[static_cast<std::size_t>(disk)];
+    if (q.busy) return;
+    Job job;
+    if (!q.user.empty()) {
+      job = q.user.front();
+      q.user.pop_front();
+    } else if (!q.rebuild.empty()) {
+      job = q.rebuild.front();
+      q.rebuild.pop_front();
+    } else {
+      return;
+    }
+    q.busy = true;
+    const double done =
+        arr.physical(disk).submit(disk::IoKind::kRead, job.slot, sim.now());
+    sim.schedule_at(done, [&, disk, job] {
+      queues[static_cast<std::size_t>(disk)].busy = false;
+      if (job.is_user) {
+        latencies.add(sim.now() - job.arrival);
+      } else {
+        --rebuild_remaining;
+        if (rebuild_remaining == 0) report.rebuild_done_s = sim.now();
+      }
+      dispatch(disk);
+    });
+  };
+
+  int injected = 0;
+  std::function<void()> arrive = [&] {
+    if (injected >= cfg.max_user_reads) return;
+    ++injected;
+    ++report.user_reads;
+    const int i = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(layout.n())));
+    const int stripe = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(arr.stripes())));
+    const int row = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(layout.rows())));
+
+    // Data copy if live, else the least-user-loaded surviving replica.
+    const auto copies = layout.copies_of(i, row);
+    int best_phys = -1;
+    int best_row = 0;
+    bool degraded = false;
+    for (std::size_t c = 0; c < copies.size(); ++c) {
+      const int phys = arr.physical_disk(copies[c].disk, stripe);
+      if (arr.physical(phys).failed()) continue;
+      if (c == 0) {
+        best_phys = phys;
+        best_row = copies[c].row;
+        break;
+      }
+      degraded = true;
+      if (best_phys < 0 || user_load[static_cast<std::size_t>(phys)] <
+                               user_load[static_cast<std::size_t>(best_phys)]) {
+        best_phys = phys;
+        best_row = copies[c].row;
+      }
+    }
+    if (best_phys >= 0) {
+      if (degraded) ++report.degraded_reads;
+      ++user_load[static_cast<std::size_t>(best_phys)];
+      queues[static_cast<std::size_t>(best_phys)].user.push_back(
+          {arr.slot(stripe, best_row), sim.now(), true, degraded});
+      dispatch(best_phys);
+    }
+    sim.schedule_in(rng.next_exponential(1.0 / cfg.user_read_rate_hz), arrive);
+  };
+
+  sim.schedule_at(0.0, arrive);
+  for (int d = 0; d < arr.total_disks(); ++d)
+    if (!arr.physical(d).failed()) sim.schedule_at(0.0, [&, d] { dispatch(d); });
+  sim.run();
+
+  if (rebuild_remaining != 0)
+    return internal_error("rebuild jobs left undispatched");
+  if (!latencies.empty()) {
+    report.mean_latency_s = latencies.mean();
+    report.p50_latency_s = latencies.percentile(50);
+    report.p99_latency_s = latencies.percentile(99);
+  }
+  return report;
+}
+
+}  // namespace sma::mm

@@ -1,0 +1,35 @@
+// On-line reconstruction for the multi-mirror (R-replica) extension:
+// rebuild I/O drains in the background while prioritized user reads
+// arrive; degraded reads pick the least-loaded surviving copy. The
+// R >= 2 counterpart of recon::run_online_reconstruction, supporting
+// up to R simultaneous failures.
+#pragma once
+
+#include <cstdint>
+
+#include "multimirror/multi_array.hpp"
+#include "util/status.hpp"
+
+namespace sma::mm {
+
+struct MmOnlineConfig {
+  double user_read_rate_hz = 40.0;
+  int max_user_reads = 500;
+  std::uint64_t seed = 7;
+};
+
+struct MmOnlineReport {
+  double rebuild_done_s = 0.0;
+  std::size_t user_reads = 0;
+  std::size_t degraded_reads = 0;
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+};
+
+/// Timing-only: contents untouched; pair with
+/// MultiMirrorArray::reconstruct for the byte-level rebuild.
+Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
+                                                 const MmOnlineConfig& cfg = {});
+
+}  // namespace sma::mm

@@ -1,0 +1,239 @@
+#include "recon/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <vector>
+
+#include "gf/region.hpp"
+#include "recon/plan.hpp"
+#include "util/units.hpp"
+
+namespace sma::recon {
+
+namespace {
+
+using Buffer = std::vector<std::uint8_t>;
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// Recover the contents of every failed logical disk of one mirror
+/// stripe into `out[logical][row]`.
+Status recover_mirror_stripe(const array::DiskArray& arr, int stripe,
+                             const std::vector<int>& failed,
+                             std::map<int, std::vector<Buffer>>& out) {
+  const auto& arch = arr.arch();
+  const std::size_t eb = arr.config().content_bytes;
+  const int n = arch.n();
+
+  std::vector<int> failed_data;
+  std::vector<int> failed_mirror;
+  bool parity_failed = false;
+  for (const int disk : failed) {
+    switch (arch.role_of(disk)) {
+      case layout::DiskRole::kData: failed_data.push_back(disk); break;
+      case layout::DiskRole::kMirror: failed_mirror.push_back(disk); break;
+      case layout::DiskRole::kParity: parity_failed = true; break;
+    }
+  }
+  for (const int disk : failed)
+    out.emplace(disk, std::vector<Buffer>(
+                          static_cast<std::size_t>(arch.rows()), Buffer(eb)));
+
+  // Data disks first: every later step may consult them.
+  for (const int xd : failed_data) {
+    const int x = arch.role_index(xd);
+    for (int j = 0; j < arch.rows(); ++j) {
+      Buffer& dst = out[xd][static_cast<std::size_t>(j)];
+      const layout::Pos replica = arch.replica_of(x, j);
+      if (!contains(failed, replica.disk)) {
+        auto src = arr.content(replica.disk, stripe, replica.row);
+        std::copy(src.begin(), src.end(), dst.begin());
+        continue;
+      }
+      // Replica lost with it: XOR the rest of row j with the parity
+      // element (paper Section V-B case 4).
+      if (!arch.has_parity() || parity_failed)
+        return unrecoverable("mirror stripe not recoverable: element and "
+                             "replica lost without parity");
+      std::fill(dst.begin(), dst.end(), 0);
+      for (int i = 0; i < n; ++i) {
+        if (i == x) continue;
+        gf::region_xor(arr.content(arch.data_disk(i), stripe, j), dst);
+      }
+      gf::region_xor(arr.content(arch.parity_disk(), stripe, j), dst);
+    }
+  }
+
+  for (const int yd : failed_mirror) {
+    const int y = arch.role_index(yd);
+    for (int j = 0; j < arch.rows(); ++j) {
+      Buffer& dst = out[yd][static_cast<std::size_t>(j)];
+      const layout::Pos src = arch.replicated_by(y, j);
+      const int src_disk = arch.data_disk(src.disk);
+      if (!contains(failed, src_disk)) {
+        auto bytes = arr.content(src_disk, stripe, src.row);
+        std::copy(bytes.begin(), bytes.end(), dst.begin());
+      } else {
+        dst = out[src_disk][static_cast<std::size_t>(src.row)];
+      }
+    }
+  }
+
+  if (parity_failed) {
+    const int pd = arch.parity_disk();
+    for (int j = 0; j < arch.rows(); ++j) {
+      Buffer& dst = out[pd][static_cast<std::size_t>(j)];
+      std::fill(dst.begin(), dst.end(), 0);
+      for (int i = 0; i < n; ++i) {
+        const int disk = arch.data_disk(i);
+        if (contains(failed, disk))
+          gf::region_xor(out[disk][static_cast<std::size_t>(j)], dst);
+        else
+          gf::region_xor(arr.content(disk, stripe, j), dst);
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status recover_raid_stripe(const array::DiskArray& arr, int stripe,
+                           const std::vector<int>& failed,
+                           std::map<int, std::vector<Buffer>>& out) {
+  const auto* codec = arr.raid_codec();
+  assert(codec != nullptr);
+  ec::ColumnSet cs = codec->make_stripe(arr.config().content_bytes);
+  for (int col = 0; col < cs.columns(); ++col) {
+    if (contains(failed, col)) continue;
+    for (int j = 0; j < cs.rows(); ++j) {
+      auto src = arr.content(col, stripe, j);
+      auto dst = cs.element(col, j);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  SMA_RETURN_IF_ERROR(codec->decode(cs, failed));
+  for (const int col : failed) {
+    auto& bufs = out.emplace(col, std::vector<Buffer>()).first->second;
+    bufs.clear();
+    for (int j = 0; j < cs.rows(); ++j) {
+      auto e = cs.element(col, j);
+      bufs.emplace_back(e.begin(), e.end());
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+double ReconReport::read_throughput_mbps() const {
+  return throughput_mbps(static_cast<double>(logical_bytes_read),
+                         read_makespan_s);
+}
+
+Result<ReconReport> reconstruct(array::DiskArray& arr,
+                                const ReconOptions& opts) {
+  const auto failed_physical = arr.failed_physical();
+  ReconReport report;
+  if (failed_physical.empty()) return report;
+
+  const auto& arch = arr.arch();
+  const int rows = arch.rows();
+
+  // Phase 1: plan and recover contents, stripe by stripe, into staging
+  // keyed by (stripe, logical disk).
+  std::vector<std::vector<array::Op>> stripe_reads(
+      static_cast<std::size_t>(arr.stripes()));
+  std::vector<std::map<int, std::vector<Buffer>>> staged(
+      static_cast<std::size_t>(arr.stripes()));
+  for (int s = 0; s < arr.stripes(); ++s) {
+    std::vector<int> failed_logical;
+    failed_logical.reserve(failed_physical.size());
+    for (const int p : failed_physical)
+      failed_logical.push_back(arr.logical_disk(p, s));
+    std::sort(failed_logical.begin(), failed_logical.end());
+
+    auto plan = plan_reconstruction(arch, failed_logical);
+    if (!plan.is_ok()) return plan.status();
+    report.read_accesses_per_stripe = std::max(
+        report.read_accesses_per_stripe, plan.value().read_accesses(arch));
+
+    auto& reads = stripe_reads[static_cast<std::size_t>(s)];
+    for (const auto& read : plan.value().availability_reads)
+      reads.push_back({read.logical_disk, s, read.row, disk::IoKind::kRead});
+    if (opts.include_parity_rebuild)
+      for (const auto& read : plan.value().parity_rebuild_reads)
+        reads.push_back({read.logical_disk, s, read.row, disk::IoKind::kRead});
+
+    Status recovered =
+        arch.is_mirror()
+            ? recover_mirror_stripe(arr, s, failed_logical,
+                                    staged[static_cast<std::size_t>(s)])
+            : recover_raid_stripe(arr, s, failed_logical,
+                                  staged[static_cast<std::size_t>(s)]);
+    if (!recovered.is_ok()) return recovered;
+  }
+
+  // Phase 2: heal the failed disks and install recovered contents (the
+  // timing below is content-independent).
+  for (const int p : failed_physical) arr.physical(p).heal();
+  std::vector<std::vector<array::Op>> stripe_writes(
+      static_cast<std::size_t>(arr.stripes()));
+  for (int s = 0; s < arr.stripes(); ++s) {
+    for (auto& [logical, buffers] : staged[static_cast<std::size_t>(s)]) {
+      for (int j = 0; j < rows; ++j) {
+        auto dst = arr.content(logical, s, j);
+        const Buffer& src = buffers[static_cast<std::size_t>(j)];
+        std::copy(src.begin(), src.end(), dst.begin());
+        stripe_writes[static_cast<std::size_t>(s)].push_back(
+            {logical, s, j, disk::IoKind::kWrite});
+      }
+    }
+  }
+
+  // Phase 3: timing on fresh timelines.
+  arr.reset_timelines();
+  if (opts.pipelined) {
+    // Each stripe's writes depend only on that stripe's reads; disks
+    // overlap the next stripe's reads with this stripe's writes.
+    report.stripe_read_done_s.reserve(static_cast<std::size_t>(arr.stripes()));
+    for (int s = 0; s < arr.stripes(); ++s) {
+      const auto rstats =
+          arr.execute(stripe_reads[static_cast<std::size_t>(s)], 0.0);
+      report.stripe_read_done_s.push_back(rstats.end_s);
+      report.read_makespan_s = std::max(report.read_makespan_s, rstats.end_s);
+      report.logical_bytes_read += rstats.logical_bytes_read;
+      const auto wstats = arr.execute(
+          stripe_writes[static_cast<std::size_t>(s)], rstats.end_s);
+      report.total_makespan_s = std::max(report.total_makespan_s, wstats.end_s);
+      report.logical_bytes_recovered += wstats.logical_bytes_written;
+    }
+    report.total_makespan_s =
+        std::max(report.total_makespan_s, report.read_makespan_s);
+  } else {
+    // Global barrier: all reads, then all replacement writes.
+    std::vector<array::Op> read_ops;
+    std::vector<array::Op> write_ops;
+    for (int s = 0; s < arr.stripes(); ++s) {
+      const auto& rs = stripe_reads[static_cast<std::size_t>(s)];
+      read_ops.insert(read_ops.end(), rs.begin(), rs.end());
+      const auto& ws = stripe_writes[static_cast<std::size_t>(s)];
+      write_ops.insert(write_ops.end(), ws.begin(), ws.end());
+    }
+    const auto read_stats = arr.execute(read_ops, 0.0);
+    report.read_makespan_s = read_stats.elapsed_s();
+    report.logical_bytes_read = read_stats.logical_bytes_read;
+    const auto write_stats = arr.execute(write_ops, report.read_makespan_s);
+    report.total_makespan_s = write_stats.end_s;
+    report.logical_bytes_recovered = write_stats.logical_bytes_written;
+  }
+
+  if (opts.verify) {
+    Status ok = arr.verify_consistency();
+    if (!ok.is_ok()) return ok;
+  }
+  return report;
+}
+
+}  // namespace sma::recon

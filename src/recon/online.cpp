@@ -1,0 +1,342 @@
+#include "recon/online.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "recon/plan.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace sma::recon {
+
+namespace {
+
+struct Job {
+  std::int64_t slot = 0;
+  disk::IoKind kind = disk::IoKind::kRead;
+  int request_id = -1;  // -1: rebuild I/O
+  int stripe = -1;      // rebuild jobs: owning stripe
+  // User read identity, for rerouting if the serving disk dies while
+  // the job is still queued.
+  int data_disk = -1;
+  int row = -1;
+};
+
+struct DiskQueue {
+  std::deque<Job> user;
+  std::deque<Job> rebuild;
+  bool busy = false;
+};
+
+struct Request {
+  double arrival = 0.0;
+  int pieces_left = 0;
+  bool degraded = false;
+  bool is_write = false;
+};
+
+}  // namespace
+
+Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
+                                               const OnlineConfig& cfg) {
+  const auto& arch = arr.arch();
+  if (!arch.is_mirror())
+    return invalid_argument("online reconstruction models mirror kinds only");
+  const auto initial_failed = arr.failed_physical();
+  if (initial_failed.size() != 1)
+    return invalid_argument(
+        "online reconstruction expects exactly one failed disk, got " +
+        std::to_string(initial_failed.size()));
+  if (cfg.user_read_rate_hz <= 0 || cfg.max_user_reads < 0 ||
+      cfg.write_fraction < 0 || cfg.write_fraction > 1)
+    return invalid_argument("invalid online workload parameters");
+  const bool inject_second =
+      cfg.second_failure_at_s >= 0 && cfg.second_failure_disk >= 0;
+  if (inject_second) {
+    if (arch.fault_tolerance() < 2)
+      return invalid_argument(
+          "second-failure injection needs fault tolerance 2 (mirror with "
+          "parity)");
+    if (cfg.second_failure_disk >= arr.total_disks() ||
+        cfg.second_failure_disk == initial_failed[0])
+      return invalid_argument("invalid second failure disk");
+  }
+
+  std::vector<DiskQueue> queues(static_cast<std::size_t>(arr.total_disks()));
+  std::vector<int> stripe_pending(static_cast<std::size_t>(arr.stripes()), 0);
+  std::size_t rebuild_remaining = 0;
+
+  // (Re)plan the rebuild reads of one stripe against the current failed
+  // set and enqueue them. Returns false on planning failure.
+  auto plan_stripe = [&](int s) -> bool {
+    std::vector<int> failed_logical;
+    for (const int p : arr.failed_physical())
+      failed_logical.push_back(arr.logical_disk(p, s));
+    std::sort(failed_logical.begin(), failed_logical.end());
+    auto plan = plan_reconstruction(arch, failed_logical);
+    if (!plan.is_ok()) return false;
+    for (const auto& read : plan.value().availability_reads) {
+      const int phys = arr.physical_disk(read.logical_disk, s);
+      Job job;
+      job.slot = arr.slot(s, read.row);
+      job.kind = disk::IoKind::kRead;
+      job.stripe = s;
+      queues[static_cast<std::size_t>(phys)].rebuild.push_back(job);
+      ++stripe_pending[static_cast<std::size_t>(s)];
+      ++rebuild_remaining;
+    }
+    return true;
+  };
+  for (int s = 0; s < arr.stripes(); ++s)
+    if (!plan_stripe(s)) return internal_error("initial rebuild plan failed");
+
+  arr.reset_timelines();
+  sim::Simulation sim;
+  Rng rng(cfg.seed);
+
+  OnlineReport report;
+  SampleSet read_latencies;
+  SampleSet degraded_latencies;
+  SampleSet write_latencies;
+  std::vector<Request> requests;
+
+  std::function<void(int)> dispatch = [&](int disk) {
+    if (arr.physical(disk).failed()) return;
+    auto& q = queues[static_cast<std::size_t>(disk)];
+    if (q.busy) return;
+    Job job;
+    if (!q.user.empty()) {
+      job = q.user.front();
+      q.user.pop_front();
+    } else if (!q.rebuild.empty()) {
+      job = q.rebuild.front();
+      q.rebuild.pop_front();
+    } else {
+      return;
+    }
+    q.busy = true;
+    const double done = arr.physical(disk).submit(job.kind, job.slot, sim.now());
+    sim.schedule_at(done, [&, disk, job] {
+      auto& dq = queues[static_cast<std::size_t>(disk)];
+      dq.busy = false;
+      if (job.request_id >= 0) {
+        Request& rq = requests[static_cast<std::size_t>(job.request_id)];
+        if (--rq.pieces_left == 0) {
+          const double latency = sim.now() - rq.arrival;
+          if (rq.is_write) {
+            write_latencies.add(latency);
+          } else {
+            read_latencies.add(latency);
+            if (rq.degraded) degraded_latencies.add(latency);
+          }
+        }
+      } else {
+        --stripe_pending[static_cast<std::size_t>(job.stripe)];
+        --rebuild_remaining;
+        if (rebuild_remaining == 0) report.rebuild_done_s = sim.now();
+      }
+      dispatch(disk);
+    });
+  };
+
+  auto enqueue_user = [&](int phys, const Job& job) {
+    queues[static_cast<std::size_t>(phys)].user.push_back(job);
+    dispatch(phys);
+  };
+
+  // Pieces needed to serve a read of data element (i, stripe, row)
+  // under the current failure set: the data copy, else the replica,
+  // else the parity row. Empty means unreadable (beyond tolerance).
+  auto read_pieces = [&](int i, int stripe, int row, bool& degraded)
+      -> std::vector<std::pair<int, Job>> {
+    std::vector<std::pair<int, Job>> out;
+    auto piece = [&](int logical, int prow) {
+      Job job;
+      job.slot = arr.slot(stripe, prow);
+      job.kind = disk::IoKind::kRead;
+      job.data_disk = i;
+      job.row = row;
+      job.stripe = stripe;
+      out.push_back({arr.physical_disk(logical, stripe), job});
+    };
+    const int data_phys = arr.physical_disk(arch.data_disk(i), stripe);
+    if (!arr.physical(data_phys).failed()) {
+      piece(arch.data_disk(i), row);
+      return out;
+    }
+    degraded = true;
+    const layout::Pos replica = arch.replica_of(i, row);
+    if (!arr.physical(arr.physical_disk(replica.disk, stripe)).failed()) {
+      piece(replica.disk, replica.row);
+      return out;
+    }
+    // Parity path: every other data element of the row + parity cell.
+    if (!arch.has_parity() ||
+        arr.physical(arr.physical_disk(arch.parity_disk(), stripe)).failed())
+      return {};
+    for (int other = 0; other < arch.n(); ++other) {
+      if (other == i) continue;
+      if (arr.physical(arr.physical_disk(arch.data_disk(other), stripe))
+              .failed())
+        return {};
+      piece(arch.data_disk(other), row);
+    }
+    piece(arch.parity_disk(), row);
+    return out;
+  };
+
+  // Poisson user-request arrivals over random data elements.
+  int injected = 0;
+  std::function<void()> arrive = [&] {
+    if (injected >= cfg.max_user_reads) return;
+    ++injected;
+    const int data_disk =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(arch.n())));
+    const int stripe = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(arr.stripes())));
+    const int row = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(arch.rows())));
+    const bool is_write = rng.next_bool(cfg.write_fraction);
+
+    const int rid = static_cast<int>(requests.size());
+    requests.push_back({sim.now(), 0, false, is_write});
+
+    if (is_write) {
+      ++report.user_writes;
+      std::vector<std::pair<int, Job>> pieces;
+      auto piece = [&](int logical, int prow) {
+        const int phys = arr.physical_disk(logical, stripe);
+        if (arr.physical(phys).failed()) return;
+        Job job;
+        job.slot = arr.slot(stripe, prow);
+        job.kind = disk::IoKind::kWrite;
+        job.request_id = rid;
+        pieces.push_back({phys, job});
+      };
+      piece(arch.data_disk(data_disk), row);
+      const layout::Pos replica = arch.replica_of(data_disk, row);
+      piece(replica.disk, replica.row);
+      if (arch.has_parity()) piece(arch.parity_disk(), row);
+      requests[static_cast<std::size_t>(rid)].pieces_left =
+          static_cast<int>(pieces.size());
+      for (auto& [phys, job] : pieces) enqueue_user(phys, job);
+    } else {
+      ++report.user_reads;
+      bool degraded = false;
+      auto pieces = read_pieces(data_disk, stripe, row, degraded);
+      if (pieces.empty()) {
+        // Unreadable under the current failures; count as an immediate
+        // (failed) read with zero pieces. Should not happen within the
+        // architecture's tolerance.
+        requests.pop_back();
+      } else {
+        if (degraded) {
+          requests[static_cast<std::size_t>(rid)].degraded = true;
+          ++report.degraded_reads;
+        }
+        requests[static_cast<std::size_t>(rid)].pieces_left =
+            static_cast<int>(pieces.size());
+        for (auto& [phys, job] : pieces) {
+          job.request_id = rid;
+          enqueue_user(phys, job);
+        }
+      }
+    }
+    sim.schedule_in(rng.next_exponential(1.0 / cfg.user_read_rate_hz), arrive);
+  };
+
+  // Second-failure injection: kill the disk, drop its queue, replan all
+  // unfinished stripes, reroute its queued user reads, and complete its
+  // queued user write pieces as skipped.
+  bool injection_failed = false;
+  if (inject_second) {
+    sim.schedule_at(cfg.second_failure_at_s, [&] {
+      const int dead = cfg.second_failure_disk;
+      if (arr.physical(dead).failed()) return;
+      report.second_failure_injected = true;
+      arr.fail_physical(dead);
+
+      // Forget every queued rebuild job (their stripes get replanned).
+      for (auto& q : queues) {
+        for (const auto& job : q.rebuild) {
+          --stripe_pending[static_cast<std::size_t>(job.stripe)];
+          --rebuild_remaining;
+        }
+        q.rebuild.clear();
+      }
+      // Replan ALL stripes for the full current failure set. This is
+      // conservative: stripes whose first-failure reads had completed
+      // are read again, a bounded overestimate of rebuild work that
+      // keeps the planner the single source of truth for what the
+      // double-failure rebuild needs.
+      for (int s = 0; s < arr.stripes(); ++s) {
+        if (!plan_stripe(s)) {
+          injection_failed = true;
+          return;
+        }
+      }
+      // Reroute queued user jobs of the dead disk.
+      auto& dq = queues[static_cast<std::size_t>(dead)];
+      std::deque<Job> orphans = std::move(dq.user);
+      dq.user.clear();
+      for (const Job& job : orphans) {
+        Request& rq = requests[static_cast<std::size_t>(job.request_id)];
+        if (job.kind == disk::IoKind::kWrite) {
+          // The copy this piece targeted is gone; the write completes
+          // on the remaining copies.
+          if (--rq.pieces_left == 0)
+            write_latencies.add(sim.now() - rq.arrival);
+          continue;
+        }
+        // Re-issue the read against surviving copies.
+        bool degraded = false;
+        auto pieces = read_pieces(job.data_disk, job.stripe, job.row, degraded);
+        if (pieces.empty()) {
+          if (--rq.pieces_left == 0)
+            read_latencies.add(sim.now() - rq.arrival);
+          continue;
+        }
+        rq.pieces_left += static_cast<int>(pieces.size()) - 1;
+        if (degraded && !rq.degraded) {
+          rq.degraded = true;
+          ++report.degraded_reads;
+        }
+        for (auto& [phys, piece_job] : pieces) {
+          piece_job.request_id = job.request_id;
+          enqueue_user(phys, piece_job);
+        }
+      }
+      // Kick all survivors (new rebuild work everywhere).
+      for (int d = 0; d < arr.total_disks(); ++d) dispatch(d);
+    });
+  }
+
+  sim.schedule_at(0.0, arrive);
+  for (int d = 0; d < arr.total_disks(); ++d)
+    if (!arr.physical(d).failed()) sim.schedule_at(0.0, [&, d] { dispatch(d); });
+  sim.run();
+
+  if (injection_failed)
+    return unrecoverable("second failure made the rebuild unplannable");
+  if (rebuild_remaining != 0)
+    return internal_error("rebuild jobs left undispatched");
+
+  if (!read_latencies.empty()) {
+    report.mean_latency_s = read_latencies.mean();
+    report.p50_latency_s = read_latencies.percentile(50);
+    report.p95_latency_s = read_latencies.percentile(95);
+    report.p99_latency_s = read_latencies.percentile(99);
+    report.max_latency_s = read_latencies.max();
+  }
+  if (!degraded_latencies.empty())
+    report.mean_degraded_latency_s = degraded_latencies.mean();
+  if (!write_latencies.empty()) {
+    report.mean_write_latency_s = write_latencies.mean();
+    report.p99_write_latency_s = write_latencies.percentile(99);
+  }
+  return report;
+}
+
+}  // namespace sma::recon

@@ -1,0 +1,61 @@
+// On-line reconstruction: the array serves user read requests while the
+// rebuild drains in the background (paper Section III / Holland [10]).
+//
+// User reads have priority over rebuild I/O on every disk queue. A read
+// that targets a failed disk is served "degraded": redirected to the
+// element's replica (mirror kinds). The experiment contrasts the
+// traditional arrangement — where rebuild traffic saturates the single
+// partner disk, queueing user reads behind it — with the shifted
+// arrangement, where rebuild load spreads across all disks.
+#pragma once
+
+#include <cstdint>
+
+#include "array/disk_array.hpp"
+#include "util/stats.hpp"
+
+namespace sma::recon {
+
+struct OnlineConfig {
+  /// Poisson arrival rate of user requests, per simulated second.
+  double user_read_rate_hz = 40.0;
+  /// Stop injecting user requests after this many (rebuild drains on).
+  int max_user_reads = 500;
+  /// Fraction of user requests that are writes (a write must land on
+  /// every live copy of the element — and the parity element if the
+  /// architecture has one — so its latency is the max across disks).
+  double write_fraction = 0.0;
+  /// Inject a second disk failure mid-rebuild: at this simulated time
+  /// (< 0 disables) the given disk dies too. Requires a fault-
+  /// tolerance-2 architecture (mirror with parity). All pending
+  /// rebuild I/O is replanned for the double failure; queued requests
+  /// on the dead disk are rerouted or dropped onto surviving copies.
+  double second_failure_at_s = -1.0;
+  int second_failure_disk = -1;
+  std::uint64_t seed = 7;
+};
+
+struct OnlineReport {
+  double rebuild_done_s = 0.0;
+  std::size_t user_reads = 0;
+  std::size_t user_writes = 0;
+  std::size_t degraded_reads = 0;  // reads that hit the failed disk
+  double mean_latency_s = 0.0;     // reads
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double mean_degraded_latency_s = 0.0;
+  double mean_write_latency_s = 0.0;
+  double p99_write_latency_s = 0.0;
+  /// Set when a second failure was injected and absorbed.
+  bool second_failure_injected = false;
+};
+
+/// Run the on-line rebuild of `arr`'s failed physical disks (mirror
+/// architectures, single failure). Timing-only: contents are not
+/// modified; pair with recon::reconstruct for the byte-level rebuild.
+Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
+                                               const OnlineConfig& cfg = {});
+
+}  // namespace sma::recon

@@ -1,0 +1,44 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sma::sim {
+
+void Simulation::schedule_at(double when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulation::schedule_in(double delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+double Simulation::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast-free copy
+    // of the handler after popping the ordering fields.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+double Simulation::run_until(double deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < deadline && queue_.empty()) return now_;
+  now_ = deadline;
+  return now_;
+}
+
+}  // namespace sma::sim

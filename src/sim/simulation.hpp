@@ -1,0 +1,53 @@
+// Minimal discrete-event simulation kernel.
+//
+// Used by the on-line reconstruction experiments, where user read
+// requests arrive while rebuild I/O drains in the background and the
+// two must interleave on per-disk queues. The batch throughput
+// experiments use the disks' timeline model directly and do not need
+// the kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sma::sim {
+
+class Simulation {
+ public:
+  double now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute simulated time `when` (>= now).
+  void schedule_at(double when, std::function<void()> fn);
+  /// Schedule `fn` after `delay` seconds of simulated time.
+  void schedule_in(double delay, std::function<void()> fn);
+
+  /// Run events until the queue drains. Returns the final clock.
+  double run();
+  /// Run events with time <= deadline; clock ends at min(deadline,
+  /// drain time).
+  double run_until(double deadline);
+
+  std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sma::sim

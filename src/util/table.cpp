@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace sma {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(header_.empty() || cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(int v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  // Compute per-column widths over header plus all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size())
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cols; ++c) total += widths[c] + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      f << csv_escape(row[c]);
+      if (c + 1 < row.size()) f << ',';
+    }
+    f << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return static_cast<bool>(f);
+}
+
+}  // namespace sma

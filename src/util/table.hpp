@@ -1,0 +1,45 @@
+// Aligned console tables and CSV emission for experiment harnesses.
+//
+// Every bench binary prints the paper's table/series rows through this
+// formatter and optionally mirrors them to a CSV file so results can be
+// re-plotted without re-running the simulation.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sma {
+
+/// Column-aligned text table with an optional title and CSV export.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Set header cells; resets column count.
+  void set_header(std::vector<std::string> cells);
+
+  /// Append a row; must match the header width if a header was set.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+  /// Render with box-drawing-free ASCII alignment.
+  std::string render() const;
+
+  /// Write as CSV (header first if present). Returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sma

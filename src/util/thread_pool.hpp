@@ -1,0 +1,54 @@
+// Minimal work-stealing-free thread pool for parallel experiment sweeps.
+//
+// Experiments enumerate many independent failure scenarios; parallel_for
+// fans them out across hardware threads. The simulator itself is single-
+// threaded per scenario (deterministic), so parallelism lives only at
+// this outer, embarrassingly-parallel layer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sma {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; runs at some point on a worker thread.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, count) across a transient pool and block
+/// until completion. body must be safe to call concurrently for distinct
+/// indices. Falls back to serial execution for tiny ranges.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace sma

@@ -1,0 +1,32 @@
+// Byte and time unit helpers shared across the simulator.
+//
+// All simulated time is carried as double seconds (the simulator spans
+// microsecond seeks to hour-long rebuilds; double keeps ~15 significant
+// digits which is far beyond the model's fidelity). Byte quantities are
+// std::uint64_t.
+#pragma once
+
+#include <cstdint>
+
+namespace sma {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Storage vendors quote MB/s as 10^6 bytes per second.
+inline constexpr double kMB = 1e6;
+
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+
+/// Convert a MB/s spec-sheet rate into bytes/second.
+constexpr double mbps_to_bytes_per_sec(double mbps) { return mbps * kMB; }
+
+/// Convert bytes and seconds into MB/s for reporting (10^6 convention,
+/// matching the paper's throughput plots).
+constexpr double throughput_mbps(double bytes, double seconds) {
+  return seconds > 0 ? bytes / kMB / seconds : 0.0;
+}
+
+}  // namespace sma

@@ -1,0 +1,75 @@
+#include "workload/degraded_read.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sma::workload {
+
+double DegradedReadReport::throughput_mbps() const {
+  return ::sma::throughput_mbps(static_cast<double>(logical_bytes_read),
+                                makespan_s);
+}
+
+Result<DegradedReadReport> run_degraded_reads(array::DiskArray& arr,
+                                              const DegradedReadConfig& cfg) {
+  const auto& arch = arr.arch();
+  if (!arch.is_mirror())
+    return invalid_argument("degraded read workload models mirror kinds");
+  const auto failed = arr.failed_physical();
+  if (failed.size() > 1)
+    return invalid_argument("degraded read workload expects <= 1 failure");
+  if (cfg.read_count < 0) return invalid_argument("negative read count");
+
+  Rng rng(cfg.seed);
+  DegradedReadReport report;
+  std::vector<array::Op> ops;
+  ops.reserve(static_cast<std::size_t>(cfg.read_count));
+
+  for (int k = 0; k < cfg.read_count; ++k) {
+    const int data_disk =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(arch.n())));
+    const int stripe = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(arr.stripes())));
+    const int row = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(arch.rows())));
+
+    int logical = arch.data_disk(data_disk);
+    int target_row = row;
+    if (arr.physical(arr.physical_disk(logical, stripe)).failed()) {
+      const layout::Pos replica = arch.replica_of(data_disk, row);
+      logical = replica.disk;
+      target_row = replica.row;
+      ++report.degraded_reads;
+    }
+    ops.push_back({logical, stripe, target_row, disk::IoKind::kRead});
+  }
+
+  arr.reset_timelines();
+  const auto stats = arr.execute(ops, 0.0);
+  report.makespan_s = stats.elapsed_s();
+  report.logical_bytes_read = stats.logical_bytes_read;
+
+  // Load imbalance over surviving disks.
+  std::vector<int> per_disk(static_cast<std::size_t>(arr.total_disks()), 0);
+  for (const auto& op : ops)
+    ++per_disk[static_cast<std::size_t>(
+        arr.physical_disk(op.logical_disk, op.stripe))];
+  int total_ops = 0;
+  int survivors = 0;
+  for (int d = 0; d < arr.total_disks(); ++d) {
+    if (arr.physical(d).failed()) continue;
+    ++survivors;
+    total_ops += per_disk[static_cast<std::size_t>(d)];
+    report.hottest_disk_ops =
+        std::max(report.hottest_disk_ops, per_disk[static_cast<std::size_t>(d)]);
+  }
+  const double mean =
+      survivors > 0 ? static_cast<double>(total_ops) / survivors : 0.0;
+  report.load_imbalance = mean > 0 ? report.hottest_disk_ops / mean : 0.0;
+  return report;
+}
+
+}  // namespace sma::workload

@@ -1,0 +1,120 @@
+#include "workload/raid_write.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <tuple>
+
+namespace sma::workload {
+
+Result<RaidUpdateMap> RaidUpdateMap::build(const ec::Codec& codec) {
+  const std::size_t eb = 8;  // structure is content-independent
+  ec::ColumnSet base = codec.make_stripe(eb);
+  base.fill_pattern(101);
+  SMA_RETURN_IF_ERROR(codec.encode(base));
+
+  RaidUpdateMap map(codec.data_columns(), codec.rows());
+  map.cells_.assign(
+      static_cast<std::size_t>(codec.data_columns()),
+      std::vector<std::vector<layout::Pos>>(
+          static_cast<std::size_t>(codec.rows())));
+
+  for (int i = 0; i < codec.data_columns(); ++i) {
+    for (int j = 0; j < codec.rows(); ++j) {
+      ec::ColumnSet modified = base;
+      auto elem = modified.element(i, j);
+      for (auto& b : elem) b ^= 0x3C;
+      SMA_RETURN_IF_ERROR(codec.encode(modified));
+      auto& out = map.cells_[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(j)];
+      for (int p = codec.data_columns(); p < codec.total_columns(); ++p)
+        for (int r = 0; r < codec.rows(); ++r) {
+          auto a = base.element(p, r);
+          auto b = modified.element(p, r);
+          if (!std::equal(a.begin(), a.end(), b.begin()))
+            out.push_back({p, r});
+        }
+    }
+  }
+  return map;
+}
+
+const std::vector<layout::Pos>& RaidUpdateMap::parity_cells(int data_column,
+                                                            int row) const {
+  assert(data_column >= 0 && data_column < data_columns_);
+  assert(row >= 0 && row < rows_);
+  return cells_[static_cast<std::size_t>(data_column)]
+               [static_cast<std::size_t>(row)];
+}
+
+Result<WriteRunReport> run_raid_write_workload(
+    array::DiskArray& arr, const std::vector<WriteRequest>& requests) {
+  const auto& arch = arr.arch();
+  if (arch.is_mirror())
+    return invalid_argument(
+        "run_raid_write_workload is for RAID kinds; use "
+        "run_write_workload for the mirror methods");
+  const auto* codec = arr.raid_codec();
+  assert(codec != nullptr);
+  auto map = RaidUpdateMap::build(*codec);
+  if (!map.is_ok()) return map.status();
+
+  const int n = arch.n();
+  const int rows = arch.rows();
+  const std::uint64_t eb = arr.config().logical_element_bytes;
+
+  arr.reset_timelines();
+  WriteRunReport report;
+  double clock = 0.0;
+
+  std::vector<array::Op> reads;
+  std::vector<array::Op> writes;
+  for (const WriteRequest& req : requests) {
+    reads.clear();
+    writes.clear();
+    std::int64_t idx = req.start;
+    int remaining = req.length;
+    assert(idx >= 0 && idx + remaining <= data_element_count(arr));
+
+    // Per (stripe) dedup of parity cells touched by this request.
+    std::set<std::tuple<int, int, int>> parity_touched;  // (stripe, col, row)
+
+    while (remaining > 0) {
+      const int per_stripe = rows * n;
+      const int stripe = static_cast<int>(idx / per_stripe);
+      const int within = static_cast<int>(idx % per_stripe);
+      const int row = within / n;
+      const int first_disk = within % n;
+      const int len = std::min(n - first_disk, remaining);
+
+      for (int i = first_disk; i < first_disk + len; ++i) {
+        // RMW: read the old data element, write the new one.
+        reads.push_back({i, stripe, row, disk::IoKind::kRead});
+        writes.push_back({i, stripe, row, disk::IoKind::kWrite});
+        for (const auto& cell : map.value().parity_cells(i, row))
+          parity_touched.insert({stripe, cell.disk, cell.row});
+      }
+      report.user_bytes += static_cast<std::uint64_t>(len) * eb;
+      ++report.rows_written;
+      idx += len;
+      remaining -= len;
+    }
+
+    for (const auto& [stripe, col, prow] : parity_touched) {
+      reads.push_back({col, stripe, prow, disk::IoKind::kRead});
+      writes.push_back({col, stripe, prow, disk::IoKind::kWrite});
+    }
+
+    const auto read_stats = arr.execute(reads, clock);
+    const auto write_stats = arr.execute(writes, read_stats.end_s);
+    clock = write_stats.end_s;
+    report.bytes_read += read_stats.logical_bytes_read;
+    report.bytes_written += write_stats.logical_bytes_written;
+    report.write_accesses +=
+        static_cast<std::uint64_t>(write_stats.max_ops_per_disk);
+  }
+  report.makespan_s = clock;
+  return report;
+}
+
+}  // namespace sma::workload

@@ -1,0 +1,49 @@
+// RAID-5/6 write path — the timing counterpart of the paper's Section
+// II claim that RAID-6 "cannot attain the theoretically optimal
+// construction and updating efficiency".
+//
+// A RaidUpdateMap precomputes, per data element, exactly which parity
+// cells change when that element changes (structural, content-
+// independent — obtained by differential re-encoding once per element).
+// The executor then times read-modify-write updates: read the old data
+// elements and the old affected parity cells, write the new ones.
+#pragma once
+
+#include "array/disk_array.hpp"
+#include "ec/codec.hpp"
+#include "layout/arrangement.hpp"
+#include "workload/write_executor.hpp"
+#include "workload/write_workload.hpp"
+
+namespace sma::workload {
+
+class RaidUpdateMap {
+ public:
+  /// Derive the update structure of `codec` (one encode per data
+  /// element; element size is irrelevant to the structure).
+  static Result<RaidUpdateMap> build(const ec::Codec& codec);
+
+  /// Parity cells (column is the codec's global column index, i.e.
+  /// >= data_columns) affected by a write to data element (i, j).
+  const std::vector<layout::Pos>& parity_cells(int data_column,
+                                               int row) const;
+
+  int data_columns() const { return data_columns_; }
+  int rows() const { return rows_; }
+
+ private:
+  RaidUpdateMap(int data_columns, int rows)
+      : data_columns_(data_columns), rows_(rows) {}
+
+  int data_columns_;
+  int rows_;
+  std::vector<std::vector<std::vector<layout::Pos>>> cells_;  // [i][j]
+};
+
+/// Execute the write workload on a RAID-5/6 DiskArray (timing only),
+/// with read-modify-write parity updates driven by the update map.
+/// The report's fields mirror run_write_workload's.
+Result<WriteRunReport> run_raid_write_workload(
+    array::DiskArray& arr, const std::vector<WriteRequest>& requests);
+
+}  // namespace sma::workload

@@ -1,0 +1,70 @@
+#include "disk/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace sma::disk {
+namespace {
+
+TEST(DiskSpec, SavvioMatchesPaperNumbers) {
+  const DiskSpec s = DiskSpec::savvio_10k3();
+  EXPECT_DOUBLE_EQ(s.read_mbps, 54.8);
+  EXPECT_DOUBLE_EQ(s.write_mbps, 130.0);
+  EXPECT_DOUBLE_EQ(s.rpm, 10000.0);
+}
+
+TEST(DiskSpec, RotationalLatencyIsHalfRevolution) {
+  DiskSpec s;
+  s.rpm = 10000;
+  // Half a revolution at 10 krpm = 3 ms.
+  EXPECT_NEAR(s.avg_rotational_latency_s(), 3e-3, 1e-9);
+  s.rpm = 7200;
+  EXPECT_NEAR(s.avg_rotational_latency_s(), 60.0 / 7200 / 2, 1e-12);
+  s.rpm = 0;  // SSD: no spindle
+  EXPECT_DOUBLE_EQ(s.avg_rotational_latency_s(), 0.0);
+}
+
+TEST(DiskSpec, TransferTimesMatchRates) {
+  const DiskSpec s = DiskSpec::savvio_10k3();
+  const std::uint64_t four_mb = 4'000'000;
+  EXPECT_NEAR(s.read_transfer_s(four_mb), 4.0 / 54.8, 1e-9);
+  EXPECT_NEAR(s.write_transfer_s(four_mb), 4.0 / 130.0, 1e-9);
+  // Reads slower than writes on this disk, as the paper notes.
+  EXPECT_GT(s.read_transfer_s(four_mb), s.write_transfer_s(four_mb));
+}
+
+TEST(DiskSpec, PositioningComposesSeekRotationOverhead) {
+  DiskSpec s;
+  s.avg_seek_s = 4e-3;
+  s.rpm = 10000;
+  s.command_overhead_s = 1e-3;
+  s.seek_scale = 1.0;
+  EXPECT_NEAR(s.positioning_s(), 4e-3 + 3e-3 + 1e-3, 1e-12);
+}
+
+TEST(DiskSpec, SeekScaleScalesMechanicalPartOnly) {
+  DiskSpec s;
+  s.avg_seek_s = 4e-3;
+  s.rpm = 10000;
+  s.command_overhead_s = 1e-3;
+  s.seek_scale = 0.0;
+  EXPECT_NEAR(s.positioning_s(), 1e-3, 1e-12);
+  s.seek_scale = 2.0;
+  EXPECT_NEAR(s.positioning_s(), 2 * 7e-3 + 1e-3, 1e-12);
+}
+
+TEST(DiskSpec, SsdLikeHasNegligiblePositioning) {
+  const DiskSpec ssd = DiskSpec::ssd_like();
+  EXPECT_LT(ssd.positioning_s(), 1e-4);
+  EXPECT_GT(ssd.read_mbps, 100.0);
+}
+
+TEST(Units, ThroughputHelper) {
+  EXPECT_DOUBLE_EQ(throughput_mbps(54.8e6, 1.0), 54.8);
+  EXPECT_DOUBLE_EQ(throughput_mbps(1e6, 0.0), 0.0);  // guard
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(1.0), 1e6);
+}
+
+}  // namespace
+}  // namespace sma::disk

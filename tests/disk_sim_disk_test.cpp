@@ -1,0 +1,168 @@
+#include "disk/sim_disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sma::disk {
+namespace {
+
+DiskSpec flat_spec() {
+  // Simple numbers for hand-checkable math: 1 MB/s read & write,
+  // positioning exactly 10 ms.
+  DiskSpec s;
+  s.read_mbps = 1.0;
+  s.write_mbps = 1.0;
+  s.avg_seek_s = 9e-3;
+  s.rpm = 0;
+  s.command_overhead_s = 1e-3;
+  return s;
+}
+
+TEST(SimDisk, FirstAccessPaysPositioning) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  // transfer = 1 s; positioning = 10 ms.
+  const double done = d.submit(IoKind::kRead, 0, 0.0);
+  EXPECT_NEAR(done, 1.010, 1e-9);
+  EXPECT_EQ(d.counters().reads, 1u);
+  EXPECT_EQ(d.counters().sequential, 0u);
+}
+
+TEST(SimDisk, SequentialContinuationSkipsPositioning) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.submit(IoKind::kRead, 3, 0.0);
+  const double done = d.submit(IoKind::kRead, 4, 0.0);
+  EXPECT_NEAR(done, 1.010 + 1.0, 1e-9);
+  EXPECT_EQ(d.counters().sequential, 1u);
+}
+
+TEST(SimDisk, NonAdjacentSlotSeeksAgain) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.submit(IoKind::kRead, 3, 0.0);
+  const double done = d.submit(IoKind::kRead, 7, 0.0);
+  EXPECT_NEAR(done, 2 * 1.010, 1e-9);
+  // Backward movement seeks too.
+  const double done2 = d.submit(IoKind::kRead, 6, 0.0);
+  EXPECT_NEAR(done2, 3 * 1.010, 1e-9);
+}
+
+TEST(SimDisk, EarliestStartDelaysService) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  const double done = d.submit(IoKind::kRead, 0, 5.0);
+  EXPECT_NEAR(done, 6.010, 1e-9);
+}
+
+TEST(SimDisk, QueueingBehindPriorIo) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.submit(IoKind::kRead, 0, 0.0);  // done at 1.010
+  // Requested at t=0 but must wait; continues sequentially.
+  const double done = d.submit(IoKind::kRead, 1, 0.0);
+  EXPECT_NEAR(done, 2.010, 1e-9);
+}
+
+TEST(SimDisk, WriteUsesWriteRate) {
+  DiskSpec s = flat_spec();
+  s.write_mbps = 2.0;  // writes twice as fast
+  SimDisk d(0, s, 10, 16, 1'000'000);
+  const double done = d.submit(IoKind::kWrite, 0, 0.0);
+  EXPECT_NEAR(done, 0.510, 1e-9);
+  EXPECT_EQ(d.counters().writes, 1u);
+  EXPECT_EQ(d.counters().logical_bytes_written, 1'000'000u);
+}
+
+TEST(SimDisk, PeekDoesNotMutate) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  const double est = d.peek_service_s(IoKind::kRead, 5);
+  EXPECT_NEAR(est, 1.010, 1e-9);
+  EXPECT_EQ(d.counters().reads, 0u);
+  EXPECT_DOUBLE_EQ(d.busy_until(), 0.0);
+}
+
+TEST(SimDisk, ResetTimelineForgetsHeadPosition) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.submit(IoKind::kRead, 4, 0.0);
+  d.reset_timeline();
+  EXPECT_DOUBLE_EQ(d.busy_until(), 0.0);
+  // Slot 5 would have been sequential; after reset it seeks.
+  const double done = d.submit(IoKind::kRead, 5, 0.0);
+  EXPECT_NEAR(done, 1.010, 1e-9);
+}
+
+TEST(SimDisk, ResetCountersZeroesStats) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.submit(IoKind::kRead, 0, 0.0);
+  d.reset_counters();
+  EXPECT_EQ(d.counters().reads, 0u);
+  EXPECT_DOUBLE_EQ(d.counters().busy_s, 0.0);
+}
+
+TEST(SimDisk, ContentIsPerSlotAndPersistent) {
+  SimDisk d(0, flat_spec(), 4, 8, 1'000'000);
+  auto s0 = d.content(0);
+  auto s3 = d.content(3);
+  std::fill(s0.begin(), s0.end(), 0x11);
+  std::fill(s3.begin(), s3.end(), 0x33);
+  EXPECT_EQ(d.content(0)[7], 0x11);
+  EXPECT_EQ(d.content(3)[0], 0x33);
+  EXPECT_EQ(d.content(1)[0], 0x00);  // untouched slots zero-initialized
+}
+
+TEST(SimDisk, FailScramblesContentAndHealRestoresService) {
+  SimDisk d(0, flat_spec(), 2, 8, 1'000'000);
+  auto s = d.content(0);
+  std::fill(s.begin(), s.end(), 0x42);
+  d.fail();
+  EXPECT_TRUE(d.failed());
+  EXPECT_NE(d.content(0)[0], 0x42);  // data gone
+  d.heal();
+  EXPECT_FALSE(d.failed());
+  d.submit(IoKind::kWrite, 0, 0.0);  // usable again
+  EXPECT_EQ(d.counters().writes, 1u);
+}
+
+TEST(SimDisk, TraceDisabledByDefault) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.submit(IoKind::kRead, 0, 0.0);
+  EXPECT_FALSE(d.tracing());
+  EXPECT_TRUE(d.trace().empty());
+}
+
+TEST(SimDisk, TraceRecordsOpsInOrder) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.enable_trace();
+  d.submit(IoKind::kRead, 3, 0.0);
+  d.submit(IoKind::kRead, 4, 0.0);
+  d.submit(IoKind::kWrite, 0, 0.0);
+  ASSERT_EQ(d.trace().size(), 3u);
+  const auto& t = d.trace();
+  EXPECT_EQ(t[0].slot, 3);
+  EXPECT_FALSE(t[0].sequential);
+  EXPECT_NEAR(t[0].start_s, 0.0, 1e-12);
+  EXPECT_NEAR(t[0].end_s, 1.010, 1e-9);
+  EXPECT_EQ(t[1].slot, 4);
+  EXPECT_TRUE(t[1].sequential);
+  EXPECT_EQ(t[2].kind, IoKind::kWrite);
+  // Ops on one disk never overlap in time.
+  EXPECT_GE(t[1].start_s, t[0].end_s - 1e-12);
+  EXPECT_GE(t[2].start_s, t[1].end_s - 1e-12);
+}
+
+TEST(SimDisk, ClearTraceKeepsRecording) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.enable_trace();
+  d.submit(IoKind::kRead, 0, 0.0);
+  d.clear_trace();
+  EXPECT_TRUE(d.trace().empty());
+  d.submit(IoKind::kRead, 5, 0.0);
+  EXPECT_EQ(d.trace().size(), 1u);
+}
+
+TEST(SimDisk, BusyTimeAccumulates) {
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.submit(IoKind::kRead, 0, 0.0);
+  d.submit(IoKind::kRead, 1, 0.0);
+  EXPECT_NEAR(d.counters().busy_s, 1.010 + 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sma::disk

@@ -1,0 +1,110 @@
+#include "ec/evenodd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ec/prime.hpp"
+#include "gf/region.hpp"
+
+namespace sma::ec {
+namespace {
+
+class EvenOddParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvenOddParam, SelfTestAllSingleAndDoubleErasures) {
+  const int k = GetParam();
+  EvenOddCodec codec(k);
+  EXPECT_EQ(codec.data_columns(), k);
+  EXPECT_EQ(codec.parity_columns(), 2);
+  EXPECT_EQ(codec.fault_tolerance(), 2);
+  EXPECT_GE(codec.prime(), k);
+  EXPECT_TRUE(is_prime(codec.prime()));
+  EXPECT_EQ(codec.rows(), codec.prime() - 1);
+  EXPECT_TRUE(codec.self_test(0xE0E0 + static_cast<unsigned>(k)).is_ok())
+      << codec.name();
+}
+
+// k = prime and shortened (non-prime) shapes, including k=1..2
+// degenerate cases and the paper's range 3..7.
+INSTANTIATE_TEST_SUITE_P(Widths, EvenOddParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 13));
+
+TEST(EvenOdd, PrimeSelection) {
+  EXPECT_EQ(EvenOddCodec(1).prime(), 3);
+  EXPECT_EQ(EvenOddCodec(3).prime(), 3);
+  EXPECT_EQ(EvenOddCodec(4).prime(), 5);
+  EXPECT_EQ(EvenOddCodec(5).prime(), 5);
+  EXPECT_EQ(EvenOddCodec(6).prime(), 7);
+  EXPECT_EQ(EvenOddCodec(8).prime(), 11);
+}
+
+TEST(EvenOdd, RowParityColumnIsRowXor) {
+  EvenOddCodec codec(5);
+  ColumnSet cs = codec.make_stripe(16);
+  cs.fill_pattern(44);
+  ASSERT_TRUE(codec.encode(cs).is_ok());
+  for (int r = 0; r < codec.rows(); ++r) {
+    std::vector<std::uint8_t> expect(16, 0);
+    for (int c = 0; c < 5; ++c) gf::region_xor(cs.element(c, r), expect);
+    auto p = cs.element(5, r);
+    EXPECT_TRUE(std::equal(p.begin(), p.end(), expect.begin())) << "row " << r;
+  }
+}
+
+TEST(EvenOdd, RejectsTripleErasure) {
+  EvenOddCodec codec(5);
+  ColumnSet cs = codec.make_stripe(8);
+  EXPECT_EQ(codec.decode(cs, {0, 1, 2}).code(), ErrorCode::kUnrecoverable);
+}
+
+TEST(EvenOdd, RejectsDuplicateErasure) {
+  EvenOddCodec codec(5);
+  ColumnSet cs = codec.make_stripe(8);
+  EXPECT_EQ(codec.decode(cs, {1, 1}).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(EvenOdd, DecodeRestoresExactBytesAfterTwoDataLoss) {
+  EvenOddCodec codec(7);
+  ColumnSet ref = codec.make_stripe(64);
+  ref.fill_pattern(123);
+  ASSERT_TRUE(codec.encode(ref).is_ok());
+  for (int a = 0; a < 7; ++a) {
+    for (int b = a + 1; b < 7; ++b) {
+      ColumnSet damaged = ref;
+      damaged.zero_column(a);
+      damaged.zero_column(b);
+      ASSERT_TRUE(codec.decode(damaged, {a, b}).is_ok()) << a << "," << b;
+      for (int c = 0; c < damaged.columns(); ++c)
+        EXPECT_TRUE(damaged.column_equals(c, ref, c)) << a << "," << b;
+    }
+  }
+}
+
+TEST(EvenOdd, ShortenedCodeIgnoresVirtualColumns) {
+  // A shortened code (k=4 over p=5) must decode data+P loss, the case
+  // that exercises the S-recovery via diagonals.
+  EvenOddCodec codec(4);
+  ColumnSet ref = codec.make_stripe(32);
+  ref.fill_pattern(321);
+  ASSERT_TRUE(codec.encode(ref).is_ok());
+  for (int r = 0; r < 4; ++r) {
+    ColumnSet damaged = ref;
+    damaged.zero_column(r);
+    damaged.zero_column(4);  // P
+    ASSERT_TRUE(codec.decode(damaged, {r, 4}).is_ok()) << "data " << r;
+    for (int c = 0; c < damaged.columns(); ++c)
+      EXPECT_TRUE(damaged.column_equals(c, ref, c));
+  }
+}
+
+TEST(EvenOdd, EncodeIsDeterministic) {
+  EvenOddCodec codec(5);
+  ColumnSet a = codec.make_stripe(16);
+  a.fill_pattern(7);
+  ColumnSet b = a;
+  ASSERT_TRUE(codec.encode(a).is_ok());
+  ASSERT_TRUE(codec.encode(b).is_ok());
+  for (int c = 0; c < a.columns(); ++c) EXPECT_TRUE(a.column_equals(c, b, c));
+}
+
+}  // namespace
+}  // namespace sma::ec

@@ -1,0 +1,128 @@
+#include "ec/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace sma::ec {
+namespace {
+
+TEST(GfMatrix, IdentityMultiplication) {
+  GfMatrix id = GfMatrix::identity(4);
+  GfMatrix m(4, 4);
+  Rng rng(1);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      m.set(r, c, static_cast<std::uint8_t>(rng.next_below(256)));
+  EXPECT_EQ(id.multiply(m), m);
+  EXPECT_EQ(m.multiply(id), m);
+}
+
+TEST(GfMatrix, MultiplyShapes) {
+  GfMatrix a(2, 3);
+  GfMatrix b(3, 4);
+  a.set(0, 0, 1);
+  a.set(1, 2, 2);
+  b.set(0, 1, 3);
+  b.set(2, 3, 4);
+  const GfMatrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 4);
+  EXPECT_EQ(c.at(0, 1), 3);
+  EXPECT_EQ(c.at(1, 3), gf::mul(2, 4));
+}
+
+TEST(GfMatrix, InvertIdentity) {
+  const GfMatrix id = GfMatrix::identity(5);
+  auto inv = id.inverted();
+  ASSERT_TRUE(inv.is_ok());
+  EXPECT_EQ(inv.value(), id);
+}
+
+TEST(GfMatrix, InvertRandomNonsingular) {
+  // Cauchy matrices are always nonsingular.
+  for (int n : {1, 2, 3, 5, 8}) {
+    GfMatrix c(n, n);
+    for (int r = 0; r < n; ++r)
+      for (int col = 0; col < n; ++col)
+        c.set(r, col,
+              gf::inv(gf::add(static_cast<std::uint8_t>(r),
+                              static_cast<std::uint8_t>(n + col))));
+    auto inv = c.inverted();
+    ASSERT_TRUE(inv.is_ok()) << "n=" << n;
+    EXPECT_EQ(c.multiply(inv.value()), GfMatrix::identity(n));
+    EXPECT_EQ(inv.value().multiply(c), GfMatrix::identity(n));
+  }
+}
+
+TEST(GfMatrix, InvertSingularFails) {
+  GfMatrix m(2, 2);
+  m.set(0, 0, 3);
+  m.set(0, 1, 5);
+  m.set(1, 0, 3);
+  m.set(1, 1, 5);  // duplicate rows -> singular
+  auto inv = m.inverted();
+  EXPECT_FALSE(inv.is_ok());
+  EXPECT_EQ(inv.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(GfMatrix, InvertNonSquareFails) {
+  GfMatrix m(2, 3);
+  auto inv = m.inverted();
+  EXPECT_FALSE(inv.is_ok());
+  EXPECT_EQ(inv.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(GfMatrix, InvertZeroPivotNeedsRowSwap) {
+  // [[0,1],[1,0]] has a zero pivot at (0,0) but is invertible.
+  GfMatrix m(2, 2);
+  m.set(0, 1, 1);
+  m.set(1, 0, 1);
+  auto inv = m.inverted();
+  ASSERT_TRUE(inv.is_ok());
+  EXPECT_EQ(m.multiply(inv.value()), GfMatrix::identity(2));
+}
+
+TEST(GfMatrix, SelectRows) {
+  GfMatrix m(3, 2);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 2; ++c)
+      m.set(r, c, static_cast<std::uint8_t>(10 * r + c));
+  const GfMatrix sel = m.select_rows({2, 0});
+  EXPECT_EQ(sel.rows(), 2);
+  EXPECT_EQ(sel.at(0, 1), 21);
+  EXPECT_EQ(sel.at(1, 0), 0);
+}
+
+TEST(Cauchy, EntriesMatchDefinition) {
+  const GfMatrix c = make_cauchy(3, 4);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_EQ(c.at(i, j),
+                gf::inv(gf::add(static_cast<std::uint8_t>(i),
+                                static_cast<std::uint8_t>(3 + j))));
+}
+
+TEST(Cauchy, EverySquareSubmatrixOfGeneratorInvertible) {
+  // MDS sanity: [I; C] with C Cauchy — any k rows form an invertible
+  // matrix. Exhaustive for k=3, m=2 (10 subsets).
+  const int k = 3;
+  const int m = 2;
+  const GfMatrix c = make_cauchy(m, k);
+  GfMatrix gen(k + m, k);
+  for (int i = 0; i < k; ++i) gen.set(i, i, 1);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < k; ++j) gen.set(k + i, j, c.at(i, j));
+
+  for (int a = 0; a < k + m; ++a)
+    for (int b = a + 1; b < k + m; ++b)
+      for (int d = b + 1; d < k + m; ++d) {
+        auto sub = gen.select_rows({a, b, d});
+        EXPECT_TRUE(sub.inverted().is_ok())
+            << "rows " << a << "," << b << "," << d;
+      }
+}
+
+}  // namespace
+}  // namespace sma::ec

@@ -1,0 +1,56 @@
+#include "ec/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma::ec {
+namespace {
+
+TEST(Prime, SmallValues) {
+  EXPECT_FALSE(is_prime(-3));
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7*13
+  EXPECT_FALSE(is_prime(100));
+}
+
+TEST(Prime, MatchesSieveUpTo1000) {
+  // Reference sieve.
+  std::vector<bool> composite(1001, false);
+  for (int i = 2; i <= 1000; ++i)
+    if (!composite[static_cast<std::size_t>(i)])
+      for (int j = 2 * i; j <= 1000; j += i)
+        composite[static_cast<std::size_t>(j)] = true;
+  for (int i = 2; i <= 1000; ++i)
+    EXPECT_EQ(is_prime(i), !composite[static_cast<std::size_t>(i)]) << i;
+}
+
+TEST(Prime, NextPrimeAtLeast) {
+  EXPECT_EQ(next_prime_at_least(-5), 2);
+  EXPECT_EQ(next_prime_at_least(0), 2);
+  EXPECT_EQ(next_prime_at_least(2), 2);
+  EXPECT_EQ(next_prime_at_least(3), 3);
+  EXPECT_EQ(next_prime_at_least(4), 5);
+  EXPECT_EQ(next_prime_at_least(8), 11);
+  EXPECT_EQ(next_prime_at_least(11), 11);
+  EXPECT_EQ(next_prime_at_least(12), 13);
+  EXPECT_EQ(next_prime_at_least(24), 29);
+  EXPECT_EQ(next_prime_at_least(90), 97);
+}
+
+TEST(Prime, NextPrimeIsAlwaysPrimeAndMinimal) {
+  for (int n = 2; n <= 200; ++n) {
+    const int p = next_prime_at_least(n);
+    EXPECT_TRUE(is_prime(p));
+    EXPECT_GE(p, n);
+    for (int q = n; q < p; ++q) EXPECT_FALSE(is_prime(q));
+  }
+}
+
+}  // namespace
+}  // namespace sma::ec

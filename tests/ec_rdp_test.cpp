@@ -1,0 +1,99 @@
+#include "ec/rdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ec/prime.hpp"
+#include "gf/region.hpp"
+
+namespace sma::ec {
+namespace {
+
+class RdpParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdpParam, SelfTestAllSingleAndDoubleErasures) {
+  const int k = GetParam();
+  RdpCodec codec(k);
+  EXPECT_EQ(codec.data_columns(), k);
+  EXPECT_EQ(codec.parity_columns(), 2);
+  EXPECT_EQ(codec.fault_tolerance(), 2);
+  EXPECT_GE(codec.prime(), k + 1);
+  EXPECT_TRUE(is_prime(codec.prime()));
+  EXPECT_EQ(codec.rows(), codec.prime() - 1);
+  EXPECT_TRUE(codec.self_test(0x4D4 + static_cast<unsigned>(k)).is_ok())
+      << codec.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RdpParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+TEST(Rdp, PrimeSelection) {
+  EXPECT_EQ(RdpCodec(1).prime(), 3);   // needs p >= 2, min odd prime 3
+  EXPECT_EQ(RdpCodec(2).prime(), 3);
+  EXPECT_EQ(RdpCodec(3).prime(), 5);
+  EXPECT_EQ(RdpCodec(4).prime(), 5);
+  EXPECT_EQ(RdpCodec(5).prime(), 7);
+  EXPECT_EQ(RdpCodec(6).prime(), 7);
+  EXPECT_EQ(RdpCodec(7).prime(), 11);
+}
+
+TEST(Rdp, RowParityIsRowXor) {
+  RdpCodec codec(4);
+  ColumnSet cs = codec.make_stripe(16);
+  cs.fill_pattern(17);
+  ASSERT_TRUE(codec.encode(cs).is_ok());
+  for (int r = 0; r < codec.rows(); ++r) {
+    std::vector<std::uint8_t> expect(16, 0);
+    for (int c = 0; c < 4; ++c) gf::region_xor(cs.element(c, r), expect);
+    auto p = cs.element(4, r);
+    EXPECT_TRUE(std::equal(p.begin(), p.end(), expect.begin()));
+  }
+}
+
+TEST(Rdp, DiagonalParityCoversP) {
+  // RDP's distinguishing feature: Q's diagonals include the P column.
+  // Losing a data column and P together must decode using Q alone.
+  RdpCodec codec(6);
+  ColumnSet ref = codec.make_stripe(32);
+  ref.fill_pattern(55);
+  ASSERT_TRUE(codec.encode(ref).is_ok());
+  for (int r = 0; r < 6; ++r) {
+    ColumnSet damaged = ref;
+    damaged.zero_column(r);
+    damaged.zero_column(6);  // P column
+    ASSERT_TRUE(codec.decode(damaged, {r, 6}).is_ok()) << "data " << r;
+    for (int c = 0; c < damaged.columns(); ++c)
+      EXPECT_TRUE(damaged.column_equals(c, ref, c));
+  }
+}
+
+TEST(Rdp, DoubleDataLossAllPairs) {
+  RdpCodec codec(6);
+  ColumnSet ref = codec.make_stripe(32);
+  ref.fill_pattern(66);
+  ASSERT_TRUE(codec.encode(ref).is_ok());
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      ColumnSet damaged = ref;
+      damaged.zero_column(a);
+      damaged.zero_column(b);
+      ASSERT_TRUE(codec.decode(damaged, {a, b}).is_ok()) << a << "," << b;
+      for (int c = 0; c < damaged.columns(); ++c)
+        EXPECT_TRUE(damaged.column_equals(c, ref, c)) << a << "," << b;
+    }
+  }
+}
+
+TEST(Rdp, RejectsTripleErasure) {
+  RdpCodec codec(4);
+  ColumnSet cs = codec.make_stripe(8);
+  EXPECT_EQ(codec.decode(cs, {0, 1, 2}).code(), ErrorCode::kUnrecoverable);
+}
+
+TEST(Rdp, RejectsWrongShape) {
+  RdpCodec codec(4);
+  ColumnSet wrong(6, 3, 8);  // rows should be p-1 = 4
+  EXPECT_EQ(codec.encode(wrong).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sma::ec

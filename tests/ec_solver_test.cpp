@@ -1,0 +1,111 @@
+#include "ec/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sma::ec {
+namespace {
+
+std::vector<std::uint8_t> buf(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+TEST(PeelingSolver, SingleUnknownDirect) {
+  PeelingSolver s(2);
+  const int x = s.add_unknown();
+  s.add_relation({x}, buf({0xAB, 0xCD}));
+  ASSERT_TRUE(s.solve().is_ok());
+  EXPECT_EQ(s.value(x), buf({0xAB, 0xCD}));
+}
+
+TEST(PeelingSolver, ChainOfSubstitutions) {
+  // x = 1; x ^ y = 3 => y = 2; y ^ z = 6 => z = 4.
+  PeelingSolver s(1);
+  const int x = s.add_unknown();
+  const int y = s.add_unknown();
+  const int z = s.add_unknown();
+  s.add_relation({y, z}, buf({6}));
+  s.add_relation({x, y}, buf({3}));
+  s.add_relation({x}, buf({1}));
+  ASSERT_TRUE(s.solve().is_ok());
+  EXPECT_EQ(s.value(x), buf({1}));
+  EXPECT_EQ(s.value(y), buf({2}));
+  EXPECT_EQ(s.value(z), buf({4}));
+}
+
+TEST(PeelingSolver, StuckSystemReportsUnrecoverable) {
+  // x ^ y = c twice: never a single-unknown relation.
+  PeelingSolver s(1);
+  const int x = s.add_unknown();
+  const int y = s.add_unknown();
+  s.add_relation({x, y}, buf({5}));
+  s.add_relation({x, y}, buf({5}));
+  const Status st = s.solve();
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kUnrecoverable);
+}
+
+TEST(PeelingSolver, RedundantConsistentRelationsAreFine) {
+  PeelingSolver s(1);
+  const int x = s.add_unknown();
+  const int y = s.add_unknown();
+  s.add_relation({x}, buf({7}));
+  s.add_relation({x, y}, buf({7 ^ 9}));
+  s.add_relation({y}, buf({9}));  // redundant but consistent
+  ASSERT_TRUE(s.solve().is_ok());
+  EXPECT_EQ(s.value(x), buf({7}));
+  EXPECT_EQ(s.value(y), buf({9}));
+}
+
+TEST(PeelingSolver, EmptyRelationIsIgnored) {
+  PeelingSolver s(1);
+  const int x = s.add_unknown();
+  s.add_relation({}, buf({0}));
+  s.add_relation({x}, buf({3}));
+  ASSERT_TRUE(s.solve().is_ok());
+  EXPECT_EQ(s.value(x), buf({3}));
+}
+
+TEST(PeelingSolver, NoUnknownsSolvesTrivially) {
+  PeelingSolver s(4);
+  EXPECT_TRUE(s.solve().is_ok());
+}
+
+TEST(PeelingSolver, LargeRandomTriangularSystem) {
+  // Build a random lower-triangular XOR system: relation i covers
+  // unknowns {0..i} so peeling resolves them in reverse insert order.
+  const int n = 50;
+  const std::size_t eb = 16;
+  Rng rng(77);
+  std::vector<std::vector<std::uint8_t>> truth;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::uint8_t> v(eb);
+    fill_pattern(rng.next_u64(), v.data(), eb);
+    truth.push_back(std::move(v));
+  }
+  PeelingSolver s(eb);
+  std::vector<int> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(s.add_unknown());
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> in;
+    std::vector<std::uint8_t> rhs(eb, 0);
+    for (int j = 0; j <= i; ++j) {
+      in.push_back(ids[static_cast<std::size_t>(j)]);
+      for (std::size_t b = 0; b < eb; ++b)
+        rhs[b] ^= truth[static_cast<std::size_t>(j)][b];
+    }
+    s.add_relation(std::move(in), std::move(rhs));
+  }
+  ASSERT_TRUE(s.solve().is_ok());
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(s.value(ids[static_cast<std::size_t>(i)]),
+              truth[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace sma::ec

@@ -1,0 +1,97 @@
+#include "ec/update_penalty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ec/evenodd.hpp"
+#include "ec/raid5.hpp"
+#include "ec/rdp.hpp"
+#include "ec/rs.hpp"
+
+namespace sma::ec {
+namespace {
+
+TEST(UpdatePenalty, Raid5IsOptimal) {
+  // RAID-5: exactly one parity element changes for any data change —
+  // the theoretical optimum for single-fault tolerance.
+  Raid5Codec codec(5, 4);
+  auto penalty = measure_update_penalty(codec);
+  ASSERT_TRUE(penalty.is_ok());
+  EXPECT_EQ(penalty.value().min, 1);
+  EXPECT_EQ(penalty.value().max, 1);
+  EXPECT_DOUBLE_EQ(penalty.value().average, 1.0);
+  EXPECT_EQ(optimal_parity_updates(codec.fault_tolerance()), 1);
+}
+
+TEST(UpdatePenalty, CauchyRsRowCodesAreOptimal) {
+  // Each row is encoded independently: m parity elements change.
+  CauchyRsCodec codec(4, 2, 3);
+  auto penalty = measure_update_penalty(codec);
+  ASSERT_TRUE(penalty.is_ok());
+  EXPECT_EQ(penalty.value().min, 2);
+  EXPECT_EQ(penalty.value().max, 2);
+}
+
+TEST(UpdatePenalty, EvenOddExceedsOptimal) {
+  // The paper's Section II claim: EVENODD's second parity is not
+  // update-optimal. Elements on the S diagonal perturb S and therefore
+  // EVERY Q element: max = 1 (P) + (p-1) (all of Q).
+  EvenOddCodec codec(5);  // p = 5
+  auto penalty = measure_update_penalty(codec);
+  ASSERT_TRUE(penalty.is_ok());
+  EXPECT_EQ(penalty.value().max, 1 + (5 - 1));
+  // Off-diagonal elements are optimal (P row + one Q diagonal).
+  EXPECT_EQ(penalty.value().min, 2);
+  EXPECT_GT(penalty.value().average,
+            optimal_parity_updates(codec.fault_tolerance()));
+}
+
+TEST(UpdatePenalty, EvenOddDiagonalElementsAreExactlyTheSDiagonal) {
+  // The penalized elements must be exactly those with i + j == p - 1
+  // (the diagonal defining S), j being the row, i the column.
+  const int p = 5;
+  EvenOddCodec codec(p);
+  auto penalty = measure_update_penalty(codec);
+  ASSERT_TRUE(penalty.is_ok());
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p - 1; ++j) {
+      const int changed = penalty.value().changed[static_cast<std::size_t>(i)]
+                                                 [static_cast<std::size_t>(j)];
+      if ((i + j) % p == p - 1)
+        EXPECT_EQ(changed, p) << i << "," << j;  // P + all Q
+      else
+        EXPECT_EQ(changed, 2) << i << "," << j;  // P + one Q
+    }
+  }
+}
+
+TEST(UpdatePenalty, RdpIsBetterThanEvenOddButNotOptimal) {
+  // RDP's diagonals include P, so changing a data element changes P,
+  // which sits on another diagonal: typically 3 updates (P, own Q
+  // diagonal, P's Q diagonal); elements whose diagonals hit the
+  // missing diagonal save one.
+  RdpCodec codec(4);  // p = 5
+  auto penalty = measure_update_penalty(codec);
+  ASSERT_TRUE(penalty.is_ok());
+  EXPECT_GE(penalty.value().min, 2);
+  EXPECT_LE(penalty.value().max, 3);
+  EXPECT_GT(penalty.value().average, 2.0);
+  // RDP's worst case (3) is strictly better than EVENODD's (1 + p-1):
+  // no S constant means no element can touch every Q cell.
+  EvenOddCodec evenodd(4);
+  auto eo = measure_update_penalty(evenodd);
+  ASSERT_TRUE(eo.is_ok());
+  EXPECT_LT(penalty.value().max, eo.value().max);
+}
+
+TEST(UpdatePenalty, DeterministicAcrossSeeds) {
+  // The penalty is structural: the seed (content) must not matter.
+  RdpCodec codec(5);
+  auto a = measure_update_penalty(codec, 16, 1);
+  auto b = measure_update_penalty(codec, 16, 999);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value().changed, b.value().changed);
+}
+
+}  // namespace
+}  // namespace sma::ec

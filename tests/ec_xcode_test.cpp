@@ -1,0 +1,94 @@
+#include "ec/xcode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ec/update_penalty.hpp"
+#include "gf/region.hpp"
+
+namespace sma::ec {
+namespace {
+
+class XCodeParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(XCodeParam, SelfTestAllSingleAndDoubleColumnErasures) {
+  const int p = GetParam();
+  XCodec codec(p);
+  EXPECT_EQ(codec.data_columns(), p);
+  EXPECT_EQ(codec.parity_columns(), 0);
+  EXPECT_EQ(codec.rows(), p);
+  EXPECT_EQ(codec.data_rows(), p - 2);
+  EXPECT_EQ(codec.fault_tolerance(), 2);
+  EXPECT_TRUE(codec.self_test(0xC0DE + static_cast<unsigned>(p)).is_ok())
+      << codec.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, XCodeParam,
+                         ::testing::Values(3, 5, 7, 11, 13));
+
+TEST(XCode, ParityRowsMatchDiagonalDefinition) {
+  const int p = 5;
+  XCodec codec(p);
+  ColumnSet cs = codec.make_stripe(16);
+  cs.fill_pattern(31);
+  ASSERT_TRUE(codec.encode(cs).is_ok());
+  for (int i = 0; i < p; ++i) {
+    std::vector<std::uint8_t> up(16, 0);
+    std::vector<std::uint8_t> down(16, 0);
+    for (int k = 0; k <= p - 3; ++k) {
+      gf::region_xor(cs.element((i + k + 2) % p, k), up);
+      gf::region_xor(cs.element(((i - k - 2) % p + p) % p, k), down);
+    }
+    auto pu = cs.element(i, p - 2);
+    auto pd = cs.element(i, p - 1);
+    EXPECT_TRUE(std::equal(pu.begin(), pu.end(), up.begin())) << i;
+    EXPECT_TRUE(std::equal(pd.begin(), pd.end(), down.begin())) << i;
+  }
+}
+
+TEST(XCode, UpdateOptimal) {
+  // X-code's defining feature: every data element sits on exactly one
+  // slope-1 and one slope-(-1) diagonal -> exactly 2 parity updates,
+  // the optimum for fault tolerance 2.
+  for (int p : {5, 7, 11}) {
+    XCodec codec(p);
+    auto penalty = measure_update_penalty(codec);
+    ASSERT_TRUE(penalty.is_ok()) << p;
+    EXPECT_EQ(penalty.value().min, 2) << p;
+    EXPECT_EQ(penalty.value().max, 2) << p;
+    EXPECT_DOUBLE_EQ(penalty.value().average, 2.0) << p;
+  }
+}
+
+TEST(XCode, RejectsTripleErasure) {
+  XCodec codec(5);
+  ColumnSet cs = codec.make_stripe(8);
+  EXPECT_EQ(codec.decode(cs, {0, 1, 2}).code(), ErrorCode::kUnrecoverable);
+}
+
+TEST(XCode, DoubleErasureRestoresExactBytes) {
+  const int p = 7;
+  XCodec codec(p);
+  ColumnSet ref = codec.make_stripe(64);
+  ref.fill_pattern(99);
+  ASSERT_TRUE(codec.encode(ref).is_ok());
+  for (int a = 0; a < p; ++a) {
+    for (int b = a + 1; b < p; ++b) {
+      ColumnSet damaged = ref;
+      damaged.zero_column(a);
+      damaged.zero_column(b);
+      ASSERT_TRUE(codec.decode(damaged, {a, b}).is_ok()) << a << "," << b;
+      for (int c = 0; c < p; ++c)
+        EXPECT_TRUE(damaged.column_equals(c, ref, c)) << a << "," << b;
+    }
+  }
+}
+
+TEST(XCode, StorageEfficiencyIsPMinus2OverP) {
+  // Vertical parity: p-2 of p rows are data on every disk.
+  XCodec codec(7);
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(codec.data_rows()) / codec.rows(), 5.0 / 7.0);
+}
+
+}  // namespace
+}  // namespace sma::ec

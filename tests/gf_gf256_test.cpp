@@ -1,0 +1,96 @@
+#include "gf/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(sub(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(add(7, 7), 0);
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<std::uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256, TableMulMatchesBitwiseMulExhaustively) {
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b)
+      ASSERT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul_slow(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)))
+          << "a=" << a << " b=" << b;
+}
+
+TEST(Gf256, MulCommutativeAssociative) {
+  // Spot-check algebraic laws on a grid (exhaustive is covered above
+  // via the reference multiply).
+  for (unsigned a = 1; a < 256; a += 7) {
+    for (unsigned b = 1; b < 256; b += 11) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(mul(ua, ub), mul(ub, ua));
+      for (unsigned c = 1; c < 256; c += 63) {
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(mul(ua, ub), uc), mul(ua, mul(ub, uc)));
+        // Distributivity over XOR.
+        EXPECT_EQ(mul(ua, add(ub, uc)), add(mul(ua, ub), mul(ua, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, EveryNonzeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(ua, inv(ua)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned b = 1; b < 256; b += 3) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(div(mul(ua, ub), ub), ua);
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a = 0; a < 256; a += 17) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    std::uint8_t acc = 1;
+    for (unsigned k = 0; k < 10; ++k) {
+      EXPECT_EQ(pow(ua, k), acc) << "a=" << a << " k=" << k;
+      acc = mul(acc, ua);
+    }
+  }
+}
+
+TEST(Gf256, PowZeroExponentIsOne) {
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(123, 0), 1);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 2 is primitive for 0x11d: its powers must cycle through all 255
+  // nonzero elements.
+  std::uint8_t x = 1;
+  int period = 0;
+  do {
+    x = mul(x, 2);
+    ++period;
+  } while (x != 1 && period < 300);
+  EXPECT_EQ(period, 255);
+}
+
+}  // namespace
+}  // namespace sma::gf

@@ -1,0 +1,111 @@
+#include "gf/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gf/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace sma::gf {
+namespace {
+
+std::vector<std::uint8_t> random_buffer(std::size_t len, std::uint64_t seed) {
+  std::vector<std::uint8_t> buf(len);
+  fill_pattern(seed, buf.data(), len);
+  return buf;
+}
+
+class RegionSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegionSizes, XorMatchesBytewise) {
+  const std::size_t len = GetParam();
+  auto src = random_buffer(len, 1);
+  auto dst = random_buffer(len, 2);
+  auto expect = dst;
+  for (std::size_t i = 0; i < len; ++i) expect[i] ^= src[i];
+  region_xor(src, dst);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST_P(RegionSizes, MulMatchesScalar) {
+  const std::size_t len = GetParam();
+  auto src = random_buffer(len, 3);
+  std::vector<std::uint8_t> dst(len);
+  const std::uint8_t c = 0x8E;
+  region_mul(c, src, dst);
+  for (std::size_t i = 0; i < len; ++i) EXPECT_EQ(dst[i], mul(c, src[i]));
+}
+
+TEST_P(RegionSizes, MulXorMatchesScalar) {
+  const std::size_t len = GetParam();
+  auto src = random_buffer(len, 4);
+  auto dst = random_buffer(len, 5);
+  auto expect = dst;
+  const std::uint8_t c = 0x2B;
+  for (std::size_t i = 0; i < len; ++i) expect[i] ^= mul(c, src[i]);
+  region_mul_xor(c, src, dst);
+  EXPECT_EQ(dst, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RegionSizes,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 4096));
+
+TEST(Region, XorSelfZeroes) {
+  auto buf = random_buffer(128, 6);
+  region_xor(buf, buf);
+  EXPECT_TRUE(region_is_zero(buf));
+}
+
+TEST(Region, MulByZeroZeroes) {
+  auto src = random_buffer(64, 7);
+  auto dst = random_buffer(64, 8);
+  region_mul(0, src, dst);
+  EXPECT_TRUE(region_is_zero(dst));
+}
+
+TEST(Region, MulByOneCopies) {
+  auto src = random_buffer(64, 9);
+  std::vector<std::uint8_t> dst(64, 0xFF);
+  region_mul(1, src, dst);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Region, MulXorByZeroIsNoOp) {
+  auto src = random_buffer(64, 10);
+  auto dst = random_buffer(64, 11);
+  auto before = dst;
+  region_mul_xor(0, src, dst);
+  EXPECT_EQ(dst, before);
+}
+
+TEST(Region, MulByOneInPlaceIsNoOp) {
+  auto buf = random_buffer(64, 12);
+  auto before = buf;
+  region_mul(1, buf, buf);
+  EXPECT_EQ(buf, before);
+}
+
+TEST(Region, ZeroAndIsZero) {
+  auto buf = random_buffer(33, 13);
+  EXPECT_FALSE(region_is_zero(buf));
+  region_zero(buf);
+  EXPECT_TRUE(region_is_zero(buf));
+  EXPECT_TRUE(region_is_zero(std::span<const std::uint8_t>{}));
+}
+
+TEST(Region, XorIsAssociativeOverBuffers) {
+  auto a = random_buffer(256, 14);
+  auto b = random_buffer(256, 15);
+  auto c = random_buffer(256, 16);
+  auto left = a;
+  region_xor(b, left);
+  region_xor(c, left);
+  auto right = b;
+  region_xor(c, right);
+  region_xor(a, right);
+  EXPECT_EQ(left, right);
+}
+
+}  // namespace
+}  // namespace sma::gf

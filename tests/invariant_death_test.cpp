@@ -1,0 +1,50 @@
+// Death tests: the library's checked invariants must actually fire.
+// These only run when asserts are active, which the build keeps on in
+// every configuration (see the top-level CMakeLists).
+#include <gtest/gtest.h>
+
+#include "array/disk_array.hpp"
+#include "disk/sim_disk.hpp"
+#include "ec/buffer.hpp"
+#include "layout/architecture.hpp"
+
+namespace sma {
+namespace {
+
+#ifndef NDEBUG
+
+TEST(InvariantDeath, IoToFailedDiskAborts) {
+  disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 4, 16, 1000);
+  d.fail();
+  EXPECT_DEATH(d.submit(disk::IoKind::kRead, 0, 0.0), "failed disk");
+}
+
+TEST(InvariantDeath, OutOfRangeSlotAborts) {
+  disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 4, 16, 1000);
+  EXPECT_DEATH(d.submit(disk::IoKind::kRead, 4, 0.0), "slot");
+  EXPECT_DEATH(d.content(-1), "slot");
+}
+
+TEST(InvariantDeath, ColumnSetOutOfRangeAborts) {
+  ec::ColumnSet cs(2, 2, 8);
+  EXPECT_DEATH(cs.element(2, 0), "col");
+  EXPECT_DEATH(cs.element(0, 2), "row");
+}
+
+TEST(InvariantDeath, MirrorAccessorsOnRaidAbort) {
+  const auto raid = layout::Architecture::raid5(3);
+  EXPECT_DEATH(raid.mirror_disk(0), "is_mirror");
+  EXPECT_DEATH(raid.replica_of(0, 0), "is_mirror");
+}
+
+TEST(InvariantDeath, ParityAccessorWithoutParityAborts) {
+  const auto mirror = layout::Architecture::mirror(3, true);
+  EXPECT_DEATH(mirror.parity_disk(), "has_parity");
+}
+
+#else
+TEST(InvariantDeath, SkippedWithoutAsserts) { GTEST_SKIP(); }
+#endif
+
+}  // namespace
+}  // namespace sma

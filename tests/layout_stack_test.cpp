@@ -1,0 +1,71 @@
+#include "layout/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sma::layout {
+namespace {
+
+TEST(Stack, RoundTripMapping) {
+  StackMapper m(7);
+  for (int stripe = 0; stripe < m.stripes_per_stack(); ++stripe)
+    for (int logical = 0; logical < 7; ++logical) {
+      const int phys = m.physical_of(logical, stripe);
+      EXPECT_GE(phys, 0);
+      EXPECT_LT(phys, 7);
+      EXPECT_EQ(m.logical_of(phys, stripe), logical);
+    }
+}
+
+TEST(Stack, StripeZeroIsIdentity) {
+  StackMapper m(5);
+  for (int d = 0; d < 5; ++d) EXPECT_EQ(m.physical_of(d, 0), d);
+}
+
+TEST(Stack, RotationIsCyclic) {
+  StackMapper m(4);
+  EXPECT_EQ(m.physical_of(0, 1), 1);
+  EXPECT_EQ(m.physical_of(3, 1), 0);
+  EXPECT_EQ(m.physical_of(2, 3), 1);
+}
+
+TEST(Stack, OnePhysicalFailureCoversEveryLogicalDisk) {
+  // The defining property of a stack: a single failed physical disk
+  // plays every logical role exactly once across the stack's stripes.
+  StackMapper m(9);
+  const auto per_stripe = m.failed_logical_per_stripe({4});
+  ASSERT_EQ(per_stripe.size(), 9u);
+  std::set<int> seen;
+  for (const auto& stripe_failures : per_stripe) {
+    ASSERT_EQ(stripe_failures.size(), 1u);
+    seen.insert(stripe_failures[0]);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all logical disks covered
+}
+
+TEST(Stack, TwoPhysicalFailuresCoverAllGapClasses) {
+  // Two failed physical disks at distance d hit every logical pair with
+  // the same cyclic distance, once per stripe.
+  StackMapper m(6);
+  const auto per_stripe = m.failed_logical_per_stripe({1, 4});
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& f : per_stripe) {
+    ASSERT_EQ(f.size(), 2u);
+    pairs.emplace(std::min(f[0], f[1]), std::max(f[0], f[1]));
+  }
+  // distance 3 in a 6-cycle: pairs {0,3},{1,4},{2,5}, each seen twice.
+  EXPECT_EQ(pairs.size(), 3u);
+  EXPECT_TRUE(pairs.count({1, 4}));
+  EXPECT_TRUE(pairs.count({0, 3}));
+  EXPECT_TRUE(pairs.count({2, 5}));
+}
+
+TEST(Stack, SingleDiskDegenerate) {
+  StackMapper m(1);
+  EXPECT_EQ(m.physical_of(0, 0), 0);
+  EXPECT_EQ(m.logical_of(0, 0), 0);
+}
+
+}  // namespace
+}  // namespace sma::layout

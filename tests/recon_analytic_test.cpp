@@ -1,0 +1,130 @@
+#include "recon/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma::recon {
+namespace {
+
+class AnalyticN : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyticN, Table1Reproduced) {
+  const int n = GetParam();
+  const auto arch = layout::Architecture::mirror_with_parity(n, true);
+  const CaseTable table = enumerate_double_failure_cases(arch);
+  EXPECT_TRUE(table.uniform);
+  ASSERT_EQ(table.rows.size(), 3u);
+  for (const auto& row : table.rows) {
+    switch (row.cls) {
+      case FailureClass::kF1:
+        EXPECT_EQ(row.num_cases, 2 * n);
+        EXPECT_EQ(row.num_read_accesses, 1);
+        break;
+      case FailureClass::kF2:
+        EXPECT_EQ(row.num_cases, static_cast<long>(n) * (n - 1));
+        EXPECT_EQ(row.num_read_accesses, 2);
+        break;
+      case FailureClass::kF3:
+        EXPECT_EQ(row.num_cases, static_cast<long>(n) * n);
+        EXPECT_EQ(row.num_read_accesses, 2);
+        break;
+      default:
+        FAIL();
+    }
+  }
+}
+
+TEST_P(AnalyticN, AverageMatchesClosedForm4nOver2nPlus1) {
+  const int n = GetParam();
+  const auto arch = layout::Architecture::mirror_with_parity(n, true);
+  const CaseTable table = enumerate_double_failure_cases(arch);
+  EXPECT_NEAR(table.average_read_accesses,
+              paper_avg_read_shifted_mirror_parity(n), 1e-12)
+      << "n=" << n;
+}
+
+TEST_P(AnalyticN, TraditionalAverageIsN) {
+  const int n = GetParam();
+  const auto arch = layout::Architecture::mirror_with_parity(n, false);
+  const CaseTable table = enumerate_double_failure_cases(arch);
+  EXPECT_NEAR(table.average_read_accesses,
+              paper_avg_read_traditional_mirror_parity(n), 1e-12);
+}
+
+TEST_P(AnalyticN, SingleFailureAverages) {
+  const int n = GetParam();
+  // Mirror without parity: shifted = 1, traditional = n, for every
+  // single failure (hence also on average).
+  EXPECT_NEAR(average_single_failure_read_accesses(
+                  layout::Architecture::mirror(n, true)),
+              1.0, 1e-12);
+  EXPECT_NEAR(average_single_failure_read_accesses(
+                  layout::Architecture::mirror(n, false)),
+              static_cast<double>(n), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(N, AnalyticN, ::testing::Values(2, 3, 4, 5, 6, 7, 10));
+
+TEST(Analytic, TheoreticalImprovementFactorIs2nPlus1Over4) {
+  // Paper abstract: availability improves by (2n+1)/4 with parity.
+  for (int n : {3, 5, 7, 20}) {
+    const double shifted = paper_avg_read_shifted_mirror_parity(n);
+    const double traditional = paper_avg_read_traditional_mirror_parity(n);
+    EXPECT_NEAR(traditional / shifted, (2.0 * n + 1) / 4.0, 1e-12);
+  }
+}
+
+TEST(Analytic, Fig7RatiosDecreaseWithN) {
+  const Fig7Point p3 = fig7_point(3);
+  const Fig7Point p10 = fig7_point(10);
+  const Fig7Point p20 = fig7_point(20);
+  EXPECT_GT(p3.ratio_vs_traditional_pct, p10.ratio_vs_traditional_pct);
+  EXPECT_GT(p10.ratio_vs_traditional_pct, p20.ratio_vs_traditional_pct);
+  EXPECT_GT(p3.ratio_vs_raid6_pct, p20.ratio_vs_raid6_pct);
+}
+
+TEST(Analytic, Fig7ReachesPaperFivePercentRegime) {
+  // Paper Section VI-A: ratios achieve "as low as 5 percent" within the
+  // plotted range (n up to 50).
+  const Fig7Point p = fig7_point(50);
+  EXPECT_LT(p.ratio_vs_traditional_pct, 5.0);
+  EXPECT_LT(p.ratio_vs_raid6_pct, 5.0);
+}
+
+TEST(Analytic, Fig7ExactRatioVsTraditional) {
+  // ratio = (4n/(2n+1)) / n = 4/(2n+1).
+  for (int n : {3, 7, 25}) {
+    const Fig7Point p = fig7_point(n);
+    EXPECT_NEAR(p.ratio_vs_traditional_pct, 100.0 * 4 / (2.0 * n + 1), 1e-9);
+  }
+}
+
+TEST(Analytic, Raid6ThroughputSlightlyBelowTraditionalMirrorParity) {
+  // Paper Fig. 7 note: shortened RAID-6 needs slightly *more* reads
+  // than the traditional mirror method with parity. In our model this
+  // holds whenever the shortened stripe depth p-1 exceeds n (true for
+  // every n where n+1 is composite); when n+1 is itself prime the two
+  // are within one access of each other.
+  for (int n : {3, 5, 7, 8, 9}) {  // n+1 composite -> p-1 > n
+    const Fig7Point p = fig7_point(n);
+    EXPECT_GT(p.raid6_avg, p.traditional_avg) << "n=" << n;
+    EXPECT_LT(p.ratio_vs_raid6_pct, p.ratio_vs_traditional_pct);
+  }
+  for (int n : {4, 6, 10}) {  // n+1 prime -> rows == n, near tie
+    const Fig7Point p = fig7_point(n);
+    EXPECT_NEAR(p.raid6_avg, p.traditional_avg, 1.0) << "n=" << n;
+  }
+}
+
+TEST(Analytic, Raid6AverageTracksShortenedRows) {
+  // Nearly every double failure of RAID-6 reads full surviving columns
+  // of p-1 rows; only the P+Q case needs no availability reads.
+  const auto arch = layout::Architecture::raid6(5);  // rows = 6
+  const CaseTable table = enumerate_double_failure_cases(arch);
+  const long total = 7 * 6 / 2;
+  const double expect =
+      (static_cast<double>(total - 1) * 6 + 0) / static_cast<double>(total);
+  EXPECT_NEAR(table.average_read_accesses, expect, 1e-12);
+}
+
+}  // namespace
+}  // namespace sma::recon

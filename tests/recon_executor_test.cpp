@@ -1,0 +1,269 @@
+#include "recon/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "recon/failure.hpp"
+
+namespace sma::recon {
+namespace {
+
+array::ArrayConfig cfg_for(layout::Architecture arch) {
+  array::ArrayConfig cfg;
+  cfg.arch = arch;
+  cfg.stripes = arch.total_disks();  // one full stack
+  cfg.content_bytes = 64;
+  cfg.logical_element_bytes = 4'000'000;
+  cfg.seed = 31;
+  return cfg;
+}
+
+class ExecutorSingle
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ExecutorSingle, EverysingleDiskRebuildVerifies) {
+  const auto [n, shifted] = GetParam();
+  const auto arch = layout::Architecture::mirror(n, shifted);
+  for (int d = 0; d < arch.total_disks(); ++d) {
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    arr.fail_physical(d);
+    auto report = reconstruct(arr);
+    ASSERT_TRUE(report.is_ok()) << "disk " << d << ": "
+                                << report.status().to_string();
+    EXPECT_TRUE(arr.verify_all().is_ok()) << "disk " << d;
+    EXPECT_TRUE(arr.failed_physical().empty());
+    EXPECT_EQ(report.value().read_accesses_per_stripe, shifted ? 1 : n);
+    EXPECT_GT(report.value().read_throughput_mbps(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mirrors, ExecutorSingle,
+    ::testing::Combine(::testing::Values(2, 3, 5), ::testing::Bool()));
+
+class ExecutorDouble
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ExecutorDouble, EveryDoubleFailureRebuildVerifies) {
+  const auto [n, shifted] = GetParam();
+  const auto arch = layout::Architecture::mirror_with_parity(n, shifted);
+  for (const auto& failed : enumerate_double_failures(arch)) {
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    for (const int d : failed) arr.fail_physical(d);
+    auto report = reconstruct(arr);
+    ASSERT_TRUE(report.is_ok())
+        << failed[0] << "," << failed[1] << ": "
+        << report.status().to_string();
+    EXPECT_TRUE(arr.verify_all().is_ok()) << failed[0] << "," << failed[1];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MirrorsWithParity, ExecutorDouble,
+    ::testing::Combine(::testing::Values(3, 4), ::testing::Bool()));
+
+TEST(Executor, ShiftedBeatsTraditionalThroughputSingleFailure) {
+  // The paper's headline effect (Fig. 9a): with everything else equal,
+  // the shifted arrangement's rebuild reads are parallel.
+  const int n = 5;
+  double trad = 0;
+  double shifted = 0;
+  for (const bool s : {false, true}) {
+    const auto arch = layout::Architecture::mirror(n, s);
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    arr.fail_physical(0);
+    auto report = reconstruct(arr);
+    ASSERT_TRUE(report.is_ok());
+    (s ? shifted : trad) = report.value().read_throughput_mbps();
+  }
+  EXPECT_GT(shifted, 1.5 * trad);
+}
+
+TEST(Executor, NoFailureIsTrivial) {
+  const auto arch = layout::Architecture::mirror(3, true);
+  array::DiskArray arr(cfg_for(arch));
+  arr.initialize();
+  auto report = reconstruct(arr);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().logical_bytes_read, 0u);
+  EXPECT_DOUBLE_EQ(report.value().read_makespan_s, 0.0);
+}
+
+TEST(Executor, TripleFailureIsUnrecoverable) {
+  const auto arch = layout::Architecture::mirror_with_parity(3, true);
+  array::DiskArray arr(cfg_for(arch));
+  arr.initialize();
+  arr.fail_physical(0);
+  arr.fail_physical(1);
+  arr.fail_physical(2);
+  auto report = reconstruct(arr);
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kUnrecoverable);
+}
+
+TEST(Executor, ParityRebuildOptionAddsReads) {
+  // Rotation off so the failed physical disk is the parity disk in
+  // *every* stripe; with rotation it would play data/mirror roles in
+  // other stripes and legitimately incur availability reads.
+  const auto arch = layout::Architecture::mirror_with_parity(4, true);
+  auto cfg_no_rotate = cfg_for(arch);
+  cfg_no_rotate.rotate = false;
+
+  array::DiskArray a(cfg_no_rotate);
+  a.initialize();
+  a.fail_physical(a.arch().parity_disk());
+  auto without = reconstruct(a);
+  ASSERT_TRUE(without.is_ok());
+
+  array::DiskArray b(cfg_no_rotate);
+  b.initialize();
+  b.fail_physical(b.arch().parity_disk());
+  ReconOptions opts;
+  opts.include_parity_rebuild = true;
+  auto with = reconstruct(b, opts);
+  ASSERT_TRUE(with.is_ok());
+
+  EXPECT_EQ(without.value().logical_bytes_read, 0u);
+  EXPECT_GT(with.value().logical_bytes_read, 0u);
+  // Both still leave a fully verified array.
+  EXPECT_TRUE(a.verify_all().is_ok());
+  EXPECT_TRUE(b.verify_all().is_ok());
+}
+
+TEST(Executor, Raid5RebuildVerifies) {
+  const auto arch = layout::Architecture::raid5(4);
+  for (int d = 0; d < arch.total_disks(); ++d) {
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    arr.fail_physical(d);
+    auto report = reconstruct(arr);
+    ASSERT_TRUE(report.is_ok()) << d;
+    EXPECT_TRUE(arr.verify_all().is_ok()) << d;
+  }
+}
+
+TEST(Executor, Raid6DoubleRebuildVerifies) {
+  const auto arch = layout::Architecture::raid6(4);
+  for (const auto& failed : enumerate_double_failures(arch)) {
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    for (const int d : failed) arr.fail_physical(d);
+    auto report = reconstruct(arr);
+    ASSERT_TRUE(report.is_ok()) << failed[0] << "," << failed[1];
+    EXPECT_TRUE(arr.verify_all().is_ok()) << failed[0] << "," << failed[1];
+  }
+}
+
+TEST(Executor, PipelinedRebuildIsFasterAndStillVerifies) {
+  for (const bool shifted : {false, true}) {
+    const auto arch = layout::Architecture::mirror(4, shifted);
+    double totals[2];
+    for (const bool pipelined : {false, true}) {
+      array::DiskArray arr(cfg_for(arch));
+      arr.initialize();
+      arr.fail_physical(1);
+      ReconOptions opts;
+      opts.pipelined = pipelined;
+      auto report = reconstruct(arr, opts);
+      ASSERT_TRUE(report.is_ok());
+      EXPECT_TRUE(arr.verify_all().is_ok());
+      totals[pipelined ? 1 : 0] = report.value().total_makespan_s;
+      EXPECT_GE(report.value().total_makespan_s,
+                report.value().read_makespan_s);
+    }
+    EXPECT_LT(totals[1], totals[0]) << "shifted=" << shifted;
+  }
+}
+
+TEST(Executor, PipelinedMatchesBarrierOnBytesAndAccesses) {
+  const auto arch = layout::Architecture::mirror_with_parity(4, true);
+  ReconOptions barrier;
+  ReconOptions pipe;
+  pipe.pipelined = true;
+  ReconReport reports[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    arr.fail_physical(0);
+    arr.fail_physical(5);
+    auto r = reconstruct(arr, mode == 0 ? barrier : pipe);
+    ASSERT_TRUE(r.is_ok());
+    reports[mode] = r.value();
+  }
+  EXPECT_EQ(reports[0].logical_bytes_read, reports[1].logical_bytes_read);
+  EXPECT_EQ(reports[0].logical_bytes_recovered,
+            reports[1].logical_bytes_recovered);
+  EXPECT_EQ(reports[0].read_accesses_per_stripe,
+            reports[1].read_accesses_per_stripe);
+}
+
+TEST(Executor, StragglerSlowsShiftedRebuild) {
+  // One slow mirror disk gates the shifted fan-out but not the
+  // traditional partner read (rotation off; partner is disk n+0, the
+  // straggler n+1).
+  const int n = 4;
+  double mbps[2];
+  for (const bool slow : {false, true}) {
+    auto cfg = cfg_for(layout::Architecture::mirror(n, true));
+    cfg.rotate = false;
+    if (slow) {
+      disk::DiskSpec s = cfg.spec;
+      s.read_mbps /= 4;
+      cfg.spec_overrides[n + 1] = s;
+    }
+    array::DiskArray arr(cfg);
+    arr.initialize();
+    arr.fail_physical(0);
+    auto report = reconstruct(arr);
+    ASSERT_TRUE(report.is_ok());
+    mbps[slow ? 1 : 0] = report.value().read_throughput_mbps();
+  }
+  EXPECT_LT(mbps[1], 0.75 * mbps[0]);
+
+  // Traditional is untouched when the straggler is not the partner.
+  double trad[2];
+  for (const bool slow : {false, true}) {
+    auto cfg = cfg_for(layout::Architecture::mirror(n, false));
+    cfg.rotate = false;
+    if (slow) {
+      disk::DiskSpec s = cfg.spec;
+      s.read_mbps /= 4;
+      cfg.spec_overrides[n + 1] = s;
+    }
+    array::DiskArray arr(cfg);
+    arr.initialize();
+    arr.fail_physical(0);  // partner is n + 0, not the straggler
+    auto report = reconstruct(arr);
+    ASSERT_TRUE(report.is_ok());
+    trad[slow ? 1 : 0] = report.value().read_throughput_mbps();
+  }
+  EXPECT_DOUBLE_EQ(trad[0], trad[1]);
+}
+
+TEST(Executor, BytesRecoveredEqualsFailedDiskCapacity) {
+  const auto arch = layout::Architecture::mirror(3, true);
+  array::DiskArray arr(cfg_for(arch));
+  arr.initialize();
+  arr.fail_physical(1);
+  auto report = reconstruct(arr);
+  ASSERT_TRUE(report.is_ok());
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(arr.stripes()) * arch.rows() * 4'000'000;
+  EXPECT_EQ(report.value().logical_bytes_recovered, capacity);
+}
+
+TEST(Executor, ReportMakespansAreOrdered) {
+  const auto arch = layout::Architecture::mirror(4, false);
+  array::DiskArray arr(cfg_for(arch));
+  arr.initialize();
+  arr.fail_physical(2);
+  auto report = reconstruct(arr);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().read_makespan_s, 0.0);
+  EXPECT_GT(report.value().total_makespan_s, report.value().read_makespan_s);
+}
+
+}  // namespace
+}  // namespace sma::recon

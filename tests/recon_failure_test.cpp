@@ -1,0 +1,89 @@
+#include "recon/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma::recon {
+namespace {
+
+TEST(Classify, SingleAndNone) {
+  const auto arch = layout::Architecture::mirror_with_parity(3, true);
+  EXPECT_EQ(classify(arch, {}), FailureClass::kNone);
+  EXPECT_EQ(classify(arch, {0}), FailureClass::kSingle);
+  EXPECT_EQ(classify(arch, {6}), FailureClass::kSingle);  // parity disk
+}
+
+TEST(Classify, F1IncludesParity) {
+  const auto arch = layout::Architecture::mirror_with_parity(3, true);
+  EXPECT_EQ(classify(arch, {0, 6}), FailureClass::kF1);
+  EXPECT_EQ(classify(arch, {6, 5}), FailureClass::kF1);
+}
+
+TEST(Classify, F2SameArray) {
+  const auto arch = layout::Architecture::mirror_with_parity(3, true);
+  EXPECT_EQ(classify(arch, {0, 2}), FailureClass::kF2);  // both data
+  EXPECT_EQ(classify(arch, {3, 5}), FailureClass::kF2);  // both mirror
+}
+
+TEST(Classify, F3OnePerArray) {
+  const auto arch = layout::Architecture::mirror_with_parity(3, true);
+  EXPECT_EQ(classify(arch, {0, 3}), FailureClass::kF3);
+  EXPECT_EQ(classify(arch, {2, 4}), FailureClass::kF3);
+}
+
+TEST(Classify, RaidDouble) {
+  const auto arch = layout::Architecture::raid6(4);
+  EXPECT_EQ(classify(arch, {0, 1}), FailureClass::kRaidDouble);
+  EXPECT_EQ(classify(arch, {4, 5}), FailureClass::kRaidDouble);
+}
+
+TEST(Enumerate, SingleFailuresCoverEveryDisk) {
+  const auto arch = layout::Architecture::mirror(4, true);
+  const auto singles = enumerate_single_failures(arch);
+  EXPECT_EQ(singles.size(), 8u);
+  for (int d = 0; d < 8; ++d) EXPECT_EQ(singles[static_cast<std::size_t>(d)],
+                                        std::vector<int>{d});
+}
+
+TEST(Enumerate, DoubleFailureCountMatchesBinomial) {
+  for (int n : {3, 5, 7}) {
+    const auto arch = layout::Architecture::mirror_with_parity(n, true);
+    const int t = 2 * n + 1;
+    EXPECT_EQ(enumerate_double_failures(arch).size(),
+              static_cast<std::size_t>(t * (t - 1) / 2));
+  }
+  // Paper Section VII-A: "as many as 105 cases for 7 data disks, 7
+  // mirror disks, and 1 parity disk".
+  EXPECT_EQ(enumerate_double_failures(
+                layout::Architecture::mirror_with_parity(7, true))
+                .size(),
+            105u);
+}
+
+TEST(Enumerate, ClassCountsMatchTable1) {
+  // Table I: F1 = 2n, F2 = n(n-1), F3 = n^2.
+  for (int n : {3, 4, 5, 6, 7}) {
+    const auto arch = layout::Architecture::mirror_with_parity(n, true);
+    long f1 = 0;
+    long f2 = 0;
+    long f3 = 0;
+    for (const auto& failed : enumerate_double_failures(arch)) {
+      switch (classify(arch, failed)) {
+        case FailureClass::kF1: ++f1; break;
+        case FailureClass::kF2: ++f2; break;
+        case FailureClass::kF3: ++f3; break;
+        default: FAIL();
+      }
+    }
+    EXPECT_EQ(f1, 2 * n) << n;
+    EXPECT_EQ(f2, n * (n - 1)) << n;
+    EXPECT_EQ(f3, n * n) << n;
+  }
+}
+
+TEST(ToString, Readable) {
+  EXPECT_EQ(to_string(FailureClass::kF1), "F1(parity+array)");
+  EXPECT_EQ(to_string(FailureClass::kSingle), "single");
+}
+
+}  // namespace
+}  // namespace sma::recon

@@ -1,0 +1,163 @@
+#include "recon/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recon/plan.hpp"
+
+namespace sma::recon {
+namespace {
+
+TEST(Recoverable, EmptySetAlwaysRecoverable) {
+  EXPECT_TRUE(is_recoverable(layout::Architecture::mirror(3, true), {}));
+}
+
+TEST(Recoverable, TraditionalMirrorPairsOnlyPartnerIsFatal) {
+  const auto arch = layout::Architecture::mirror(4, false);
+  for (int x = 0; x < 4; ++x) {
+    for (int b = 0; b < 8; ++b) {
+      if (b == x) continue;
+      const bool fatal = (b == arch.mirror_disk(x));
+      EXPECT_EQ(is_recoverable(arch, {x, b}), !fatal) << x << "," << b;
+    }
+  }
+}
+
+TEST(Recoverable, ShiftedMirrorAnyCrossArrayPairIsFatal) {
+  // Every mirror disk holds exactly one replica of every data disk, so
+  // any (data, mirror) pair loses one element; same-array pairs are
+  // fine.
+  const auto arch = layout::Architecture::mirror(4, true);
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      EXPECT_FALSE(is_recoverable(arch, {x, arch.mirror_disk(y)}))
+          << x << "," << y;
+  EXPECT_TRUE(is_recoverable(arch, {0, 1}));
+  EXPECT_TRUE(is_recoverable(arch, {arch.mirror_disk(0), arch.mirror_disk(2)}));
+}
+
+TEST(Recoverable, MirrorParityAllDoublesSurvivable) {
+  for (const bool shifted : {false, true}) {
+    const auto arch = layout::Architecture::mirror_with_parity(4, shifted);
+    for (int a = 0; a < arch.total_disks(); ++a)
+      for (int b = a + 1; b < arch.total_disks(); ++b)
+        EXPECT_TRUE(is_recoverable(arch, {a, b})) << a << "," << b;
+  }
+}
+
+TEST(Recoverable, MirrorParityTripleCases) {
+  const auto arch = layout::Architecture::mirror_with_parity(3, true);
+  // Both copies of one element plus the parity: data 0's replica of
+  // row 1 sits on mirror disk <0+1> = 1 (global 4).
+  EXPECT_FALSE(is_recoverable(arch, {0, 4, arch.parity_disk()}));
+  // Two data disks and the parity disk: every replica is intact.
+  EXPECT_TRUE(is_recoverable(arch, {0, 1, arch.parity_disk()}));
+  // Three disks of the same array: other array intact.
+  EXPECT_TRUE(is_recoverable(arch, {0, 1, 2}));
+  // Data disk + two mirror disks: the two elements that lost both
+  // copies sit in different rows, each repairable via parity.
+  EXPECT_TRUE(is_recoverable(arch, {0, 3, 4}));
+}
+
+TEST(Recoverable, ParityClosureCascades) {
+  // All data disks lost but the whole mirror array + parity intact:
+  // every element available via its replica.
+  const auto arch = layout::Architecture::mirror_with_parity(3, true);
+  EXPECT_TRUE(is_recoverable(arch, {0, 1, 2}));
+  // Whole mirror array lost too -> data intact? data disks all fine.
+  EXPECT_TRUE(is_recoverable(arch, {3, 4, 5}));
+}
+
+TEST(Recoverable, ConsistentWithPlannerWithinTolerance) {
+  // The planner succeeds on every in-tolerance set; the oracle must
+  // agree there (it may additionally accept lucky over-tolerance sets).
+  const layout::Architecture archs[] = {
+      layout::Architecture::mirror(4, false),
+      layout::Architecture::mirror(4, true),
+      layout::Architecture::mirror_with_parity(4, false),
+      layout::Architecture::mirror_with_parity(4, true),
+  };
+  for (const auto& arch : archs) {
+    for (int a = 0; a < arch.total_disks(); ++a) {
+      EXPECT_TRUE(is_recoverable(arch, {a})) << arch.name();
+      if (arch.fault_tolerance() >= 2) {
+        for (int b = a + 1; b < arch.total_disks(); ++b) {
+          EXPECT_TRUE(is_recoverable(arch, {a, b}))
+              << arch.name() << " " << a << "," << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(FatalCounts, MirrorPairCounts) {
+  // Traditional: 1 fatal partner; shifted: the n disks of the other
+  // array.
+  for (int n : {3, 5, 7}) {
+    const auto trad = count_fatal_sets(layout::Architecture::mirror(n, false));
+    EXPECT_DOUBLE_EQ(trad.avg_fatal_second, 1.0) << n;
+    const auto shift = count_fatal_sets(layout::Architecture::mirror(n, true));
+    EXPECT_DOUBLE_EQ(shift.avg_fatal_second, static_cast<double>(n)) << n;
+  }
+}
+
+TEST(FatalCounts, MirrorParityNoFatalPairs) {
+  for (const bool shifted : {false, true}) {
+    const auto counts = count_fatal_sets(
+        layout::Architecture::mirror_with_parity(4, shifted));
+    EXPECT_DOUBLE_EQ(counts.avg_fatal_second, 0.0);
+    EXPECT_GT(counts.avg_fatal_third, 0.0);
+  }
+}
+
+TEST(Mttdl, Tolerance1ClosedForm) {
+  const auto arch = layout::Architecture::mirror(4, false);
+  MttdlParams p;
+  p.disk_mttf_hours = 1.0e6;
+  p.mttr_hours = 10.0;
+  const auto report = estimate_mttdl(arch, p);
+  // MTTF^2 / (N * k2 * MTTR) with N=8, k2=1.
+  EXPECT_NEAR(report.mttdl_hours, 1e12 / (8 * 1 * 10), 1e-3);
+  EXPECT_GT(report.mttdl_years(), 0.0);
+}
+
+TEST(Mttdl, ShiftedMirrorTradesFatalSetForWindow) {
+  // Same MTTR: shifted has n x more fatal seconds -> n x lower MTTDL.
+  // Its n x faster rebuild (n x smaller MTTR) exactly cancels that.
+  const int n = 5;
+  MttdlParams same;
+  same.mttr_hours = 10.0;
+  const auto trad =
+      estimate_mttdl(layout::Architecture::mirror(n, false), same);
+  const auto shift_same =
+      estimate_mttdl(layout::Architecture::mirror(n, true), same);
+  EXPECT_NEAR(trad.mttdl_hours / shift_same.mttdl_hours, n, 1e-9);
+
+  MttdlParams faster = same;
+  faster.mttr_hours = same.mttr_hours / n;
+  const auto shift_fast =
+      estimate_mttdl(layout::Architecture::mirror(n, true), faster);
+  EXPECT_NEAR(shift_fast.mttdl_hours, trad.mttdl_hours, 1e-3);
+}
+
+TEST(Mttdl, ParityVariantVastlyMoreReliable) {
+  MttdlParams p;
+  p.mttr_hours = 10.0;
+  const auto mirror = estimate_mttdl(layout::Architecture::mirror(4, true), p);
+  const auto parity =
+      estimate_mttdl(layout::Architecture::mirror_with_parity(4, true), p);
+  EXPECT_GT(parity.mttdl_hours, 1e3 * mirror.mttdl_hours);
+}
+
+TEST(Mttdl, InfiniteWhenNoFatalSets) {
+  // A 1-disk "array" mirrored with parity: no triple exists that loses
+  // data... n=1: disks = {data, mirror, parity}: losing all three IS
+  // fatal, so instead verify the finite path stays finite.
+  const auto report = estimate_mttdl(
+      layout::Architecture::mirror_with_parity(1, true), MttdlParams{});
+  EXPECT_TRUE(std::isfinite(report.mttdl_hours));
+}
+
+}  // namespace
+}  // namespace sma::recon

@@ -1,0 +1,78 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sma::sim {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulation, SameTimeEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ClockAdvancesDuringHandlers) {
+  Simulation sim;
+  double seen = -1;
+  sim.schedule_at(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents) {
+  Simulation sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 10) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  EXPECT_DOUBLE_EQ(sim.run(), 9.0);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  double when = -1;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.0, [&] { when = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(when, 7.0);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(sim.run_until(3.0), 3.0);
+  EXPECT_EQ(fired, 1);
+  // Remaining event still fires on full run.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RunOnEmptyQueueReturnsCurrentTime) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.run(), 0.0);
+}
+
+}  // namespace
+}  // namespace sma::sim

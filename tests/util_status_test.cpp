@@ -1,0 +1,76 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = invalid_argument("bad n");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.to_string(), "InvalidArgument: bad n");
+}
+
+TEST(Status, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(out_of_range("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(failed_precondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(unrecoverable("x").code(), ErrorCode::kUnrecoverable);
+  EXPECT_EQ(corruption("x").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(internal_error("x").code(), ErrorCode::kInternal);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "OK");
+  EXPECT_EQ(to_string(ErrorCode::kUnrecoverable), "Unrecoverable");
+  EXPECT_EQ(to_string(ErrorCode::kCorruption), "Corruption");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(out_of_range("too big"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+Status fails() { return corruption("boom"); }
+Status propagates() {
+  SMA_RETURN_IF_ERROR(fails());
+  return Status::ok();
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  Status s = propagates();
+  EXPECT_EQ(s.code(), ErrorCode::kCorruption);
+  EXPECT_EQ(s.message(), "boom");
+}
+
+}  // namespace
+}  // namespace sma

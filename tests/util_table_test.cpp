@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sma {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo");
+  t.set_header({"n", "value"});
+  t.add_row({"3", "1.54"});
+  t.add_row({"70", "4.55"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("4.55"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(-7), "-7");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "x,y"});
+  t.add_row({"2", "with \"quotes\""});
+  const std::string path = testing::TempDir() + "sma_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string csv = ss.str();
+  EXPECT_NE(csv.find("a,b"), std::string::npos);
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with \"\"quotes\"\"\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFailsOnBadPath) {
+  Table t;
+  t.add_row({"1"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-zzz/out.csv"));
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "only");
+}
+
+}  // namespace
+}  // namespace sma

@@ -1,0 +1,418 @@
+// smactl — command-line driver for the shifted-mirror-arrangement
+// library: inspect layouts, plan and execute reconstructions, run the
+// on-line rebuild and scrub simulations, and regenerate the analytic
+// tables, all without writing code.
+//
+//   smactl layout    --n=3 [--kind=shifted|traditional] [--iterations=K]
+//   smactl plan      --n=3 [--parity] [--traditional] --fail=0,6
+//   smactl rebuild   --n=5 [--parity] [--traditional] --fail=2 [--stacks=2]
+//   smactl online    --n=5 [--traditional] [--rate=30] [--reads=500]
+//   smactl scrub     --n=5 [--parity] [--errors=10] [--seed=1]
+//   smactl write     --n=5 [--parity] [--traditional] [--requests=1000]
+//   smactl table1    [--n-min=3] [--n-max=7]
+//   smactl fig7      [--n-max=50]
+//   smactl three-mirror --n=5 [--traditional] --fail=0,8
+//   smactl degraded  --n=5 [--traditional] [--reads=2000] [--fail=0]
+//   smactl reliability --n=5 [--parity] [--traditional] [--mttr-h=1]
+//   smactl update-penalty [--n=5]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/trace.hpp"
+#include "core/volume.hpp"
+#include "layout/properties.hpp"
+#include "multimirror/multi_array.hpp"
+#include "recon/analytic.hpp"
+#include "ec/evenodd.hpp"
+#include "ec/rdp.hpp"
+#include "ec/update_penalty.hpp"
+#include "recon/online.hpp"
+#include "recon/plan.hpp"
+#include "recon/reliability.hpp"
+#include "recon/scrub.hpp"
+#include "workload/degraded_read.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/write_executor.hpp"
+
+namespace {
+
+using namespace sma;
+
+int usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, "%s",
+               "usage: smactl <command> [flags]\n"
+               "  layout        render an arrangement and its properties\n"
+               "  plan          reconstruction read plan for failed disks\n"
+               "  rebuild       execute + verify a rebuild, report throughput\n"
+               "  online        on-line rebuild with user reads\n"
+               "  scrub         inject latent errors, scrub, report repairs\n"
+               "  write         run the Fig. 10 write workload\n"
+               "  table1        regenerate Table I\n"
+               "  fig7          regenerate Fig. 7 ratios\n"
+               "  three-mirror  rebuild in the R=2 multi-mirror extension\n"
+               "  degraded      user reads against a degraded array\n"
+               "  reliability   fatal failure sets + MTTDL estimate\n"
+               "  update-penalty  parity updates per data write, by code\n"
+               "common flags: --n=<disks> --parity --traditional --seed=<s>\n");
+  return 2;
+}
+
+layout::Architecture arch_from(const Flags& flags) {
+  const int n = flags.get_int("n", 3);
+  const bool parity = flags.get_bool("parity", false);
+  const bool shifted = !flags.get_bool("traditional", false);
+  return parity ? layout::Architecture::mirror_with_parity(n, shifted)
+                : layout::Architecture::mirror(n, shifted);
+}
+
+array::ArrayConfig array_cfg_from(const Flags& flags) {
+  array::ArrayConfig cfg;
+  cfg.arch = arch_from(flags);
+  cfg.stripes = flags.get_int("stacks", 1) * cfg.arch.total_disks();
+  cfg.content_bytes =
+      static_cast<std::size_t>(flags.get_int("content-bytes", 256));
+  cfg.logical_element_bytes = static_cast<std::uint64_t>(
+      flags.get_double("element-mb", 4.0) * 1'000'000);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return cfg;
+}
+
+int cmd_layout(const Flags& flags) {
+  const int n = flags.get_int("n", 3);
+  if (n < 1 || n > 12) return usage("--n must be in 1..12 for layout");
+  layout::ArrangementPtr arr;
+  if (flags.has("iterations")) {
+    arr = layout::make_iterated(n, flags.get_int("iterations", 1));
+  } else {
+    auto made = layout::make_arrangement(flags.get("kind", "shifted"), n);
+    if (!made.is_ok()) return usage(made.status().to_string().c_str());
+    arr = std::move(made).take();
+  }
+  std::printf("%s\n", layout::render_arrays(*arr).c_str());
+  std::printf("properties: %s\n",
+              layout::evaluate_properties(*arr).to_string().c_str());
+  return 0;
+}
+
+int cmd_plan(const Flags& flags) {
+  const auto arch = arch_from(flags);
+  const auto failed = flags.get_int_list("fail");
+  if (failed.empty()) return usage("plan needs --fail=<disk,[disk]>");
+  auto plan = recon::plan_reconstruction(arch, failed);
+  if (!plan.is_ok()) {
+    std::fprintf(stderr, "plan: %s\n", plan.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s, failed {", arch.name().c_str());
+  for (const int d : failed) std::printf(" %d", d);
+  std::printf(" }\n");
+  std::printf("read accesses (availability metric): %d\n",
+              plan.value().read_accesses(arch));
+  std::printf("availability reads (%zu):",
+              plan.value().availability_reads.size());
+  for (const auto& read : plan.value().availability_reads)
+    std::printf(" d%d/r%d", read.logical_disk, read.row);
+  std::printf("\nparity-rebuild reads: %zu\n",
+              plan.value().parity_rebuild_reads.size());
+  return 0;
+}
+
+int cmd_rebuild(const Flags& flags) {
+  auto cfg = array_cfg_from(flags);
+  const auto failed = flags.get_int_list("fail");
+  if (failed.empty()) return usage("rebuild needs --fail=<disk,[disk]>");
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  for (const int d : failed) {
+    if (d < 0 || d >= arr.total_disks()) return usage("--fail out of range");
+    arr.fail_physical(d);
+  }
+  auto report = recon::reconstruct(arr);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "rebuild: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = report.value();
+  std::printf("%s: rebuilt %.0f MB, read %.0f MB in %.2f s "
+              "(%.1f MB/s read throughput, %d access(es)/stripe); "
+              "verification OK\n",
+              cfg.arch.name().c_str(), r.logical_bytes_recovered / 1e6,
+              r.logical_bytes_read / 1e6, r.read_makespan_s,
+              r.read_throughput_mbps(), r.read_accesses_per_stripe);
+  return 0;
+}
+
+int cmd_online(const Flags& flags) {
+  auto cfg = array_cfg_from(flags);
+  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  arr.fail_physical(flags.get_int("fail", 0));
+  recon::OnlineConfig ocfg;
+  ocfg.user_read_rate_hz = flags.get_double("rate", 30.0);
+  ocfg.max_user_reads = flags.get_int("reads", 500);
+  ocfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  auto report = recon::run_online_reconstruction(arr, ocfg);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "online: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = report.value();
+  std::printf("%s: rebuild done at %.2f s; %zu user reads "
+              "(%zu degraded); latency mean/p50/p95/p99 = "
+              "%.1f/%.1f/%.1f/%.1f ms\n",
+              cfg.arch.name().c_str(), r.rebuild_done_s, r.user_reads,
+              r.degraded_reads, r.mean_latency_s * 1e3, r.p50_latency_s * 1e3,
+              r.p95_latency_s * 1e3, r.p99_latency_s * 1e3);
+  return 0;
+}
+
+int cmd_scrub(const Flags& flags) {
+  auto cfg = array_cfg_from(flags);
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const int errors = flags.get_int("errors", 10);
+  recon::inject_latent_errors(arr, rng, errors);
+  auto report = recon::scrub(arr);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "scrub: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = report.value();
+  std::printf("%s: injected %d; scanned %llu elements in %.2f s; "
+              "%llu mismatches, repaired %llu data / %llu mirror / "
+              "%llu parity, %llu undecidable\n",
+              cfg.arch.name().c_str(), errors,
+              static_cast<unsigned long long>(r.elements_scanned),
+              r.makespan_s,
+              static_cast<unsigned long long>(r.mismatches),
+              static_cast<unsigned long long>(r.repaired_data),
+              static_cast<unsigned long long>(r.repaired_mirror),
+              static_cast<unsigned long long>(r.repaired_parity),
+              static_cast<unsigned long long>(r.undecidable));
+  return 0;
+}
+
+int cmd_write(const Flags& flags) {
+  auto cfg = array_cfg_from(flags);
+  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  workload::WriteWorkloadConfig wcfg;
+  wcfg.request_count = flags.get_int("requests", 1000);
+  wcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 777));
+  const auto reqs = workload::generate_large_writes(arr, wcfg);
+  const auto report = workload::run_write_workload(arr, reqs);
+  std::printf("%s: %d requests, %.0f MB payload in %.2f s -> %.1f MB/s "
+              "(%llu rows, %llu write accesses, %.0f MB parity reads)\n",
+              cfg.arch.name().c_str(), wcfg.request_count,
+              report.user_bytes / 1e6, report.makespan_s,
+              report.write_throughput_mbps(),
+              static_cast<unsigned long long>(report.rows_written),
+              static_cast<unsigned long long>(report.write_accesses),
+              report.bytes_read / 1e6);
+  return 0;
+}
+
+int cmd_table1(const Flags& flags) {
+  const int lo = flags.get_int("n-min", 3);
+  const int hi = flags.get_int("n-max", 7);
+  Table table("Table I");
+  table.set_header({"n", "class", "cases", "read accesses", "avg", "4n/(2n+1)"});
+  for (int n = lo; n <= hi; ++n) {
+    const auto cases = recon::enumerate_double_failure_cases(
+        layout::Architecture::mirror_with_parity(n, true));
+    for (const auto& row : cases.rows)
+      table.add_row({Table::num(n), std::string(recon::to_string(row.cls)),
+                     Table::num(static_cast<std::uint64_t>(row.num_cases)),
+                     Table::num(row.num_read_accesses),
+                     Table::num(cases.average_read_accesses, 4),
+                     Table::num(recon::paper_avg_read_shifted_mirror_parity(n),
+                                4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_fig7(const Flags& flags) {
+  const int hi = flags.get_int("n-max", 50);
+  Table table("Fig. 7 ratios (%)");
+  table.set_header({"n", "vs traditional", "vs raid6"});
+  for (int n = 2; n <= hi; ++n) {
+    const auto p = recon::fig7_point(n);
+    table.add_row({Table::num(n), Table::num(p.ratio_vs_traditional_pct, 2),
+                   Table::num(p.ratio_vs_raid6_pct, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_three_mirror(const Flags& flags) {
+  mm::MultiArrayConfig cfg;
+  cfg.layout.n = flags.get_int("n", 5);
+  cfg.layout.replica_arrays = flags.get_int("replicas", 2);
+  cfg.layout.shifted = !flags.get_bool("traditional", false);
+  cfg.content_bytes = 128;
+  auto arrr = mm::MultiMirrorArray::create(cfg);
+  if (!arrr.is_ok()) {
+    std::fprintf(stderr, "three-mirror: %s\n",
+                 arrr.status().to_string().c_str());
+    return 1;
+  }
+  auto& arr = arrr.value();
+  arr.initialize();
+  const auto failed = flags.get_int_list("fail");
+  if (failed.empty()) return usage("three-mirror needs --fail=<disk,[disk]>");
+  for (const int d : failed) {
+    if (d < 0 || d >= arr.total_disks()) return usage("--fail out of range");
+    arr.fail_physical(d);
+  }
+  auto report = arr.reconstruct();
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "three-mirror: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: rebuilt %.0f MB at %.1f MB/s, %d access(es)/stripe; "
+              "verification OK\n",
+              arr.layout().name().c_str(),
+              report.value().logical_bytes_recovered / 1e6,
+              report.value().read_throughput_mbps(),
+              report.value().read_accesses_per_stripe);
+  return 0;
+}
+
+int cmd_replay(const Flags& flags) {
+  const std::string path = flags.get("file", "");
+  if (path.empty()) return usage("replay needs --file=<trace>");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto ops = core::parse_trace(in);
+  if (!ops.is_ok()) {
+    std::fprintf(stderr, "replay: %s\n", ops.status().to_string().c_str());
+    return 1;
+  }
+  core::VolumeConfig vcfg;
+  vcfg.n = flags.get_int("n", 3);
+  vcfg.with_parity = flags.get_bool("parity", false);
+  vcfg.shifted = !flags.get_bool("traditional", false);
+  vcfg.stacks = flags.get_int("stacks", 1);
+  vcfg.content_bytes =
+      static_cast<std::size_t>(flags.get_int("content-bytes", 4096));
+  auto volume = core::MirroredVolume::create(vcfg);
+  if (!volume.is_ok()) {
+    std::fprintf(stderr, "replay: %s\n",
+                 volume.status().to_string().c_str());
+    return 1;
+  }
+  auto vol = std::move(volume).take();
+  auto report = core::replay_trace(vol, ops.value());
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "replay: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: replayed %zu ops (%zu reads, %zu writes; %.1f MB in, "
+              "%.1f MB out); consistency %s\n",
+              vol.arch().name().c_str(),
+              report.value().reads + report.value().writes,
+              report.value().reads, report.value().writes,
+              report.value().bytes_read / 1e6,
+              report.value().bytes_written / 1e6,
+              vol.verify().to_string().c_str());
+  return vol.verify().is_ok() ? 0 : 1;
+}
+
+int cmd_degraded(const Flags& flags) {
+  auto cfg = array_cfg_from(flags);
+  cfg.stripes = flags.get_int("stacks", 2) * cfg.arch.total_disks();
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  arr.fail_physical(flags.get_int("fail", 0));
+  workload::DegradedReadConfig dcfg;
+  dcfg.read_count = flags.get_int("reads", 2000);
+  dcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
+  auto report = workload::run_degraded_reads(arr, dcfg);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "degraded: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = report.value();
+  std::printf("%s: %d reads at %.1f MB/s; %zu degraded; hottest disk %d "
+              "ops (imbalance %.2f)\n",
+              cfg.arch.name().c_str(), dcfg.read_count, r.throughput_mbps(),
+              r.degraded_reads, r.hottest_disk_ops, r.load_imbalance);
+  return 0;
+}
+
+int cmd_reliability(const Flags& flags) {
+  const auto arch = arch_from(flags);
+  recon::MttdlParams params;
+  params.disk_mttf_hours = flags.get_double("mttf-h", 1.0e6);
+  params.mttr_hours = flags.get_double("mttr-h", 1.0);
+  const auto report = recon::estimate_mttdl(arch, params);
+  std::printf("%s: avg fatal 2nd = %.2f, avg fatal 3rd = %.2f, "
+              "MTTR %.3f h -> MTTDL %.3e years\n",
+              arch.name().c_str(), report.fatal.avg_fatal_second,
+              report.fatal.avg_fatal_third, params.mttr_hours,
+              report.mttdl_years());
+  return 0;
+}
+
+int cmd_update_penalty(const Flags& flags) {
+  const int n = flags.get_int("n", 5);
+  const ec::EvenOddCodec evenodd(n);
+  const ec::RdpCodec rdp(n);
+  const ec::Codec* codecs[] = {&evenodd, &rdp};
+  for (const auto* codec : codecs) {
+    auto penalty = ec::measure_update_penalty(*codec);
+    if (!penalty.is_ok()) {
+      std::fprintf(stderr, "update-penalty: %s\n",
+                   penalty.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%-20s parity updates per data write: min %d avg %.2f "
+                "max %d (optimal %d)\n",
+                codec->name().c_str(), penalty.value().min,
+                penalty.value().average, penalty.value().max,
+                ec::optimal_parity_updates(codec->fault_tolerance()));
+  }
+  std::printf("mirror methods: 1 replica write (+1 parity element with the "
+              "parity disk) — optimal by construction\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string& cmd = flags.positional()[0];
+
+  int rc;
+  if (cmd == "layout") rc = cmd_layout(flags);
+  else if (cmd == "plan") rc = cmd_plan(flags);
+  else if (cmd == "rebuild") rc = cmd_rebuild(flags);
+  else if (cmd == "online") rc = cmd_online(flags);
+  else if (cmd == "scrub") rc = cmd_scrub(flags);
+  else if (cmd == "write") rc = cmd_write(flags);
+  else if (cmd == "table1") rc = cmd_table1(flags);
+  else if (cmd == "fig7") rc = cmd_fig7(flags);
+  else if (cmd == "three-mirror") rc = cmd_three_mirror(flags);
+  else if (cmd == "degraded") rc = cmd_degraded(flags);
+  else if (cmd == "reliability") rc = cmd_reliability(flags);
+  else if (cmd == "update-penalty") rc = cmd_update_penalty(flags);
+  else if (cmd == "replay") rc = cmd_replay(flags);
+  else return usage(("unknown command: " + cmd).c_str());
+
+  for (const auto& e : flags.errors())
+    std::fprintf(stderr, "warning: %s\n", e.c_str());
+  return rc;
+}
