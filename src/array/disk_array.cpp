@@ -39,6 +39,10 @@ DiskArray::DiskArray(ArrayConfig cfg)
         it == cfg_.spec_overrides.end() ? cfg_.spec : it->second;
     disks_.emplace_back(d, spec, slots, cfg_.content_bytes,
                         cfg_.logical_element_bytes);
+    const auto fit = cfg_.fault_overrides.find(d);
+    const disk::FaultProfile& profile =
+        fit == cfg_.fault_overrides.end() ? cfg_.fault : fit->second;
+    if (!profile.inert()) disks_.back().set_fault_profile(profile);
   }
   if (!cfg_.arch.is_mirror()) {
     const int n = cfg_.arch.n();
@@ -225,8 +229,11 @@ Status DiskArray::verify_all() const {
   return Status::ok();
 }
 
-Status DiskArray::verify_consistency() const {
+Status DiskArray::verify_consistency(const ElementSet* skip) const {
   std::vector<std::uint8_t> expect(cfg_.content_bytes);
+  const auto skipped = [&](int logical, int s, int row) {
+    return skip != nullptr && skip->count({logical, s, row}) > 0;
+  };
   for (int s = 0; s < cfg_.stripes; ++s) {
     auto live = [&](int logical) {
       return !physical(physical_disk(logical, s)).failed();
@@ -238,6 +245,9 @@ Status DiskArray::verify_consistency() const {
         for (int j = 0; j < cfg_.arch.rows(); ++j) {
           const layout::Pos replica = cfg_.arch.replica_of(i, j);
           if (!live(replica.disk)) continue;
+          if (skipped(cfg_.arch.data_disk(i), s, j) ||
+              skipped(replica.disk, s, replica.row))
+            continue;
           auto data = content(cfg_.arch.data_disk(i), s, j);
           auto mirror = content(replica.disk, s, replica.row);
           if (!std::equal(data.begin(), data.end(), mirror.begin()))
@@ -251,6 +261,10 @@ Status DiskArray::verify_consistency() const {
           if (!live(cfg_.arch.data_disk(i))) all_data_live = false;
         if (all_data_live) {
           for (int j = 0; j < cfg_.arch.rows(); ++j) {
+            bool row_skipped = skipped(cfg_.arch.parity_disk(), s, j);
+            for (int i = 0; i < n && !row_skipped; ++i)
+              row_skipped = skipped(cfg_.arch.data_disk(i), s, j);
+            if (row_skipped) continue;
             std::fill(expect.begin(), expect.end(), 0);
             for (int i = 0; i < n; ++i)
               gf::region_xor(content(cfg_.arch.data_disk(i), s, j), expect);
@@ -266,6 +280,14 @@ Status DiskArray::verify_consistency() const {
       for (int i = 0; i < cfg_.arch.n(); ++i)
         if (!live(i)) all_data_live = false;
       if (!all_data_live) continue;
+      if (skip != nullptr) {
+        bool stripe_skipped = false;
+        for (int col = 0; col < cfg_.arch.total_disks() && !stripe_skipped;
+             ++col)
+          for (int j = 0; j < cfg_.arch.rows() && !stripe_skipped; ++j)
+            stripe_skipped = skipped(col, s, j);
+        if (stripe_skipped) continue;
+      }
       ec::ColumnSet cs = raid_codec_->make_stripe(cfg_.content_bytes);
       for (int i = 0; i < cfg_.arch.n(); ++i)
         for (int j = 0; j < cfg_.arch.rows(); ++j) {
@@ -326,6 +348,32 @@ Status DiskArray::verify_logical_disk(int logical) const {
 
 void DiskArray::fail_physical(int d) { physical(d).fail(); }
 
+bool DiskArray::faults_active() const {
+  for (const auto& d : disks_)
+    if (!d.fault_profile().inert()) return true;
+  return false;
+}
+
+bool DiskArray::element_unreadable(int logical, int stripe, int row) const {
+  const auto& d = physical(physical_disk(logical, stripe));
+  return d.failed() || d.slot_unreadable(slot(stripe, row));
+}
+
+bool DiskArray::element_latent(int logical, int stripe, int row) const {
+  const auto& d = physical(physical_disk(logical, stripe));
+  return !d.failed() && d.slot_unreadable(slot(stripe, row));
+}
+
+void DiskArray::clear_element_latent(int logical, int stripe, int row) {
+  physical(physical_disk(logical, stripe)).clear_latent(slot(stripe, row));
+}
+
+void DiskArray::restore_element(int logical, int stripe, int row,
+                                std::span<const std::uint8_t> bytes) {
+  physical(physical_disk(logical, stripe))
+      .restore_content(slot(stripe, row), bytes);
+}
+
 std::vector<int> DiskArray::failed_physical() const {
   std::vector<int> out;
   for (int d = 0; d < total_disks(); ++d)
@@ -341,13 +389,33 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
   for (const Op& op : ops) {
     const int phys = physical_disk(op.logical_disk, op.stripe);
     auto& d = physical(phys);
-    const double done = d.submit(op.kind, slot(op.stripe, op.row), start_time);
-    stats.end_s = std::max(stats.end_s, done);
+    const std::int64_t sl = slot(op.stripe, op.row);
     ++per_disk[static_cast<std::size_t>(phys)];
-    if (op.kind == disk::IoKind::kRead)
-      stats.logical_bytes_read += d.logical_element_bytes();
-    else
-      stats.logical_bytes_written += d.logical_element_bytes();
+    int attempts = 0;
+    for (;;) {
+      const disk::IoResult res = d.submit(op.kind, sl, start_time);
+      if (res.is_ok()) {
+        stats.end_s = std::max(stats.end_s, res.value());
+        if (op.kind == disk::IoKind::kRead)
+          stats.logical_bytes_read += d.logical_element_bytes();
+        else
+          stats.logical_bytes_written += d.logical_element_bytes();
+        break;
+      }
+      // Errored attempts still occupied the disk for their service time.
+      stats.end_s = std::max(stats.end_s, d.busy_until());
+      const bool transient =
+          res.status().code() == ErrorCode::kIoError && !d.failed();
+      if (transient && attempts < cfg_.io_max_retries) {
+        ++attempts;
+        ++stats.retried_ops;
+        continue;
+      }
+      if (res.status().code() == ErrorCode::kUnreadableSector)
+        ++stats.unreadable_ops;
+      ++stats.failed_ops;
+      break;
+    }
   }
   stats.max_ops_per_disk = *std::max_element(per_disk.begin(), per_disk.end());
   return stats;

@@ -11,9 +11,12 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <span>
+#include <tuple>
 #include <vector>
 
+#include "disk/fault_profile.hpp"
 #include "disk/sim_disk.hpp"
 #include "ec/codec.hpp"
 #include "layout/architecture.hpp"
@@ -37,6 +40,15 @@ struct ArrayConfig {
   /// Timed bytes per element (the paper uses 4 MB).
   std::uint64_t logical_element_bytes = 4ull * 1024 * 1024;
   std::uint64_t seed = 1;
+  /// Fault-injection profile applied to every disk. The default is
+  /// inert: no observable behavior change anywhere in the stack.
+  disk::FaultProfile fault;
+  /// Per-physical-disk profile overrides (targeted experiments).
+  std::map<int, disk::FaultProfile> fault_overrides;
+  /// Bounded-retry policy of the batch executor: how many times an op
+  /// that hit a *transient* error is re-submitted (each retry pays full
+  /// re-service time). Hard errors are never retried.
+  int io_max_retries = 2;
 };
 
 /// One element access for the batch executor.
@@ -56,9 +68,20 @@ struct BatchStats {
   int max_ops_per_disk = 0;
   std::uint64_t logical_bytes_read = 0;
   std::uint64_t logical_bytes_written = 0;
+  /// Re-submissions after transient errors (bounded by io_max_retries).
+  std::uint64_t retried_ops = 0;
+  /// Ops that never completed: unreadable sector, dead disk, or retries
+  /// exhausted. Their attempts still occupied the disks.
+  std::uint64_t failed_ops = 0;
+  /// Subset of failed_ops that hit a latent unreadable sector.
+  std::uint64_t unreadable_ops = 0;
 
   double elapsed_s() const { return end_s - start_s; }
 };
+
+/// Logical element coordinates excluded from a consistency check (e.g.
+/// elements that lost every redundancy path during a faulty rebuild).
+using ElementSet = std::set<std::tuple<int, int, int>>;  // (logical, stripe, row)
 
 class DiskArray {
  public:
@@ -97,14 +120,33 @@ class DiskArray {
   /// Internal-consistency check against *current* contents: every
   /// mirror cell equals its data source and every parity element is the
   /// XOR of its data row (re-encode comparison for RAID kinds). Unlike
-  /// verify_all() this stays valid after user writes.
-  Status verify_consistency() const;
+  /// verify_all() this stays valid after user writes. With `skip`,
+  /// comparisons touching a listed element are omitted (elements that
+  /// had no surviving redundancy path during a faulty rebuild).
+  Status verify_consistency(const ElementSet* skip = nullptr) const;
   /// Check a single logical disk's elements across all stripes.
   Status verify_logical_disk(int logical) const;
 
   // --- failures ------------------------------------------------------------
   void fail_physical(int disk);
   std::vector<int> failed_physical() const;
+
+  // --- fault layer ---------------------------------------------------------
+  /// True when any disk carries a non-inert fault profile; consumers
+  /// switch to the error-aware paths only then, keeping the fault-free
+  /// timing model bit-identical.
+  bool faults_active() const;
+  /// Element (logical, stripe, row) cannot be read: its physical disk
+  /// failed or the slot carries a latent unreadable sector.
+  bool element_unreadable(int logical, int stripe, int row) const;
+  /// The element's slot carries a latent unreadable sector (disk live).
+  bool element_latent(int logical, int stripe, int row) const;
+  /// Remap the element's latent sector after rewriting it in place.
+  void clear_element_latent(int logical, int stripe, int row);
+  /// Install recovered bytes for an element of a failed disk (tracked;
+  /// SimDisk::heal() requires every slot restored).
+  void restore_element(int logical, int stripe, int row,
+                       std::span<const std::uint8_t> bytes);
 
   // --- timing ---------------------------------------------------------------
   /// Execute ops concurrently across disks: per-disk FIFO order as

@@ -1,0 +1,56 @@
+// Per-disk fault-injection profile.
+//
+// The paper's argument is about what happens to a mirror array while it
+// is degraded, and it motivates mirroring with the rising rate of
+// latent sector errors. A FaultProfile lets experiments inject exactly
+// those hazards into a SimDisk: a scheduled fail-stop, latent
+// unreadable sectors (discovered only when the slot is read), transient
+// per-I/O errors (retryable), and a slow-disk service-time multiplier.
+//
+// The default-constructed profile is *inert*: every probability is
+// zero, no fail-stop is scheduled, and the latency multiplier is
+// exactly 1.0, so the error-aware I/O path reproduces the calibrated
+// timing model bit for bit.
+#pragma once
+
+#include <cstdint>
+
+namespace sma::disk {
+
+struct FaultProfile {
+  /// Fail-stop the disk at this simulated time; < 0 disables. The disk
+  /// fails when the first I/O that would *start* at or after this time
+  /// is submitted (a queue-aware interpretation: the failure manifests
+  /// when the disk is next addressed).
+  double fail_at_s = -1.0;
+
+  /// Per-slot probability that the slot carries a latent unreadable
+  /// sector. Latent slots are sampled once, deterministically from
+  /// `seed` and the disk id, when the profile is installed. A read of a
+  /// latent slot spends its full service time and then fails with
+  /// kUnreadableSector; a successful write remaps (clears) the slot.
+  double latent_error_rate = 0.0;
+
+  /// Per-read / per-write probability of a transient error: the access
+  /// spends its service time, fails with kIoError, and succeeds when
+  /// retried (fresh Bernoulli draw per attempt).
+  double transient_read_error_p = 0.0;
+  double transient_write_error_p = 0.0;
+
+  /// Multiplies every service time (positioning + transfer). 1.0 means
+  /// nominal speed; > 1 models a degraded ("limping") disk.
+  double slow_factor = 1.0;
+
+  /// Seed for latent-slot placement and transient draws; mixed with the
+  /// disk id so disks sharing one profile fault independently.
+  std::uint64_t seed = 0;
+
+  /// True when the profile cannot change any observable behavior.
+  bool inert() const {
+    return fail_at_s < 0.0 && latent_error_rate <= 0.0 &&
+           transient_read_error_p <= 0.0 && transient_write_error_p <= 0.0 &&
+           slow_factor == 1.0;
+  }
+};
+
+}  // namespace sma::disk

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string>
 
 namespace sma::disk {
 
@@ -26,28 +27,65 @@ double SimDisk::peek_service_s(IoKind kind, std::int64_t slot) const {
   const double transfer = kind == IoKind::kRead
                               ? spec_.read_transfer_s(logical_element_bytes_)
                               : spec_.write_transfer_s(logical_element_bytes_);
-  return position + transfer;
+  // slow_factor is exactly 1.0 for the inert profile, so the default
+  // timing model is reproduced bit for bit.
+  return (position + transfer) * fault_.slow_factor;
 }
 
-double SimDisk::submit(IoKind kind, std::int64_t slot, double earliest_start) {
-  assert(!failed_ && "I/O submitted to a failed disk");
-  assert(slot >= 0 && slot < slot_count_);
+IoResult SimDisk::submit(IoKind kind, std::int64_t slot,
+                         double earliest_start) {
+  if (slot < 0 || slot >= slot_count_)
+    return out_of_range("slot " + std::to_string(slot) +
+                        " out of range on disk " + std::to_string(id_));
+  if (failed_)
+    return io_error("I/O submitted to failed disk " + std::to_string(id_));
+  const double start = std::max(earliest_start, busy_until_);
+  if (fail_stop_armed_ && start >= fault_.fail_at_s) {
+    // The scheduled fail-stop manifests on the first access that would
+    // start at or after it: the disk dies instead of serving.
+    fail_stop_armed_ = false;
+    fail();
+    return io_error("disk " + std::to_string(id_) +
+                    " fail-stopped at scheduled t=" +
+                    std::to_string(fault_.fail_at_s));
+  }
   const double service = peek_service_s(kind, slot);
   const bool sequential = slot == head_slot_ + 1;
-  const double start = std::max(earliest_start, busy_until_);
   busy_until_ = start + service;
   head_slot_ = slot;
 
-  if (kind == IoKind::kRead) {
+  if (kind == IoKind::kRead)
     ++counters_.reads;
-    counters_.logical_bytes_read += logical_element_bytes_;
-  } else {
+  else
     ++counters_.writes;
-    counters_.logical_bytes_written += logical_element_bytes_;
-  }
   if (sequential) ++counters_.sequential;
   counters_.busy_s += service;
   if (tracing_) trace_.push_back({kind, slot, start, busy_until_, sequential});
+
+  // Error checks charge the full service time (above) first: the disk
+  // was occupied attempting the access either way.
+  if (kind == IoKind::kRead) {
+    if (slot_unreadable(slot)) {
+      ++counters_.unreadable_errors;
+      return unreadable_sector("latent sector at slot " +
+                               std::to_string(slot) + " on disk " +
+                               std::to_string(id_));
+    }
+    if (fault_.transient_read_error_p > 0.0 &&
+        fault_rng_.next_bool(fault_.transient_read_error_p)) {
+      ++counters_.transient_errors;
+      return io_error("transient read error on disk " + std::to_string(id_));
+    }
+    counters_.logical_bytes_read += logical_element_bytes_;
+  } else {
+    if (fault_.transient_write_error_p > 0.0 &&
+        fault_rng_.next_bool(fault_.transient_write_error_p)) {
+      ++counters_.transient_errors;
+      return io_error("transient write error on disk " + std::to_string(id_));
+    }
+    counters_.logical_bytes_written += logical_element_bytes_;
+    clear_latent(slot);  // a successful write remaps the sector
+  }
   return busy_until_;
 }
 
@@ -70,11 +108,70 @@ std::span<const std::uint8_t> SimDisk::content(std::int64_t slot) const {
           content_bytes_};
 }
 
+void SimDisk::set_fault_profile(const FaultProfile& profile) {
+  fault_ = profile;
+  fail_stop_armed_ = profile.fail_at_s >= 0.0;
+  // Independent stream per (seed, disk): one SplitMix64 mix, same idiom
+  // as the per-element content seeding.
+  std::uint64_t s = profile.seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(static_cast<unsigned>(id_)) +
+                      1));
+  fault_rng_ = Rng(splitmix64(s));
+  latent_.assign(static_cast<std::size_t>(slot_count_), false);
+  latent_count_ = 0;
+  if (profile.latent_error_rate > 0.0) {
+    for (std::int64_t i = 0; i < slot_count_; ++i) {
+      if (fault_rng_.next_bool(profile.latent_error_rate)) {
+        latent_[static_cast<std::size_t>(i)] = true;
+        ++latent_count_;
+      }
+    }
+  }
+}
+
+void SimDisk::clear_latent(std::int64_t slot) {
+  assert(slot >= 0 && slot < slot_count_);
+  if (latent_count_ > 0 && latent_[static_cast<std::size_t>(slot)]) {
+    latent_[static_cast<std::size_t>(slot)] = false;
+    --latent_count_;
+  }
+}
+
 void SimDisk::fail() {
   failed_ = true;
   // Scramble rather than zero: zeroed contents can masquerade as valid
   // parity, hiding reconstruction bugs.
   std::memset(store_.data(), 0xDB, store_.size());
+  restored_.assign(static_cast<std::size_t>(slot_count_), false);
+  restored_count_ = 0;
+}
+
+void SimDisk::restore_content(std::int64_t slot,
+                              std::span<const std::uint8_t> bytes) {
+  assert(failed_ && "restore_content targets a failed disk");
+  assert(bytes.size() == content_bytes_);
+  auto dst = content(slot);
+  std::copy(bytes.begin(), bytes.end(), dst.begin());
+  if (!restored_[static_cast<std::size_t>(slot)]) {
+    restored_[static_cast<std::size_t>(slot)] = true;
+    ++restored_count_;
+  }
+}
+
+void SimDisk::heal() {
+  assert(failed_ && "heal() on a disk that never failed");
+  assert(fully_restored() &&
+         "heal() without full content restoration would serve the fail() "
+         "scramble pattern");
+  failed_ = false;
+  // Replacement hardware: the old platters' latent sectors are gone and
+  // the consumed fail-stop does not re-arm.
+  if (latent_count_ > 0) {
+    latent_.assign(static_cast<std::size_t>(slot_count_), false);
+    latent_count_ = 0;
+  }
+  fail_stop_armed_ = false;
 }
 
 }  // namespace sma::disk

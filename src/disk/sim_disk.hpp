@@ -10,24 +10,35 @@
 // Addressing: elements live at integer slots; slot order is physical
 // LBA order, so an access to slot s+1 immediately after slot s is
 // sequential (no positioning charge).
+//
+// Fault model: an optional FaultProfile injects fail-stops, latent
+// unreadable sectors, transient errors, and slow service. submit()
+// therefore returns IoResult (completion time or an error Status) —
+// including in release builds, where an assert would vanish.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "disk/disk_model.hpp"
+#include "disk/fault_profile.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace sma::disk {
 
 enum class IoKind { kRead, kWrite };
 
 struct DiskCounters {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;   // attempts, including errored ones
+  std::uint64_t writes = 0;  // attempts, including errored ones
   std::uint64_t sequential = 0;  // ops that paid no positioning
-  std::uint64_t logical_bytes_read = 0;
-  std::uint64_t logical_bytes_written = 0;
+  std::uint64_t logical_bytes_read = 0;     // successful ops only
+  std::uint64_t logical_bytes_written = 0;  // successful ops only
+  std::uint64_t transient_errors = 0;
+  std::uint64_t unreadable_errors = 0;
   double busy_s = 0.0;
 };
 
@@ -39,6 +50,11 @@ struct TraceEntry {
   double end_s = 0.0;
   bool sequential = false;
 };
+
+/// Completion time of a submitted access, or why it failed:
+/// kOutOfRange (bad slot), kIoError (failed disk, scheduled fail-stop,
+/// transient error), kUnreadableSector (latent media error).
+using IoResult = Result<double>;
 
 class SimDisk {
  public:
@@ -53,10 +69,18 @@ class SimDisk {
 
   // --- timing ---------------------------------------------------------
   /// Enqueue one element access behind all prior traffic, starting no
-  /// earlier than `earliest_start`. Returns the completion time.
-  /// Fails loudly (assert) when the disk is failed; planners must not
-  /// address failed disks.
-  double submit(IoKind kind, std::int64_t slot, double earliest_start);
+  /// earlier than `earliest_start`. Returns the completion time, or an
+  /// error Status; errored attempts (transient, unreadable) still
+  /// occupy the disk for their service time — busy_until() reflects it.
+  IoResult submit(IoKind kind, std::int64_t slot, double earliest_start);
+
+  /// submit() for fault-free contexts (inert profile, caller already
+  /// guards failed disks): asserts success and unwraps the time.
+  double submit_ok(IoKind kind, std::int64_t slot, double earliest_start) {
+    const IoResult r = submit(kind, slot, earliest_start);
+    assert(r.is_ok() && "submit_ok used on a fallible path");
+    return r.is_ok() ? r.value() : busy_until_;
+  }
 
   /// Service time the next access to `slot` would incur (no state
   /// change); used by planners that want cost estimates.
@@ -81,13 +105,37 @@ class SimDisk {
   std::span<std::uint8_t> content(std::int64_t slot);
   std::span<const std::uint8_t> content(std::int64_t slot) const;
 
+  // --- fault injection --------------------------------------------------
+  /// Install a fault profile: samples the latent-slot set (from
+  /// profile.seed mixed with the disk id) and arms the scheduled
+  /// fail-stop. Replaces any prior profile.
+  void set_fault_profile(const FaultProfile& profile);
+  const FaultProfile& fault_profile() const { return fault_; }
+
+  /// True when `slot` currently carries a latent unreadable sector.
+  bool slot_unreadable(std::int64_t slot) const {
+    return latent_count_ > 0 && latent_[static_cast<std::size_t>(slot)];
+  }
+  /// Remap (clear) a latent sector — what a successful write does; also
+  /// used by scrub when it rewrites an unreadable copy in place.
+  void clear_latent(std::int64_t slot);
+  std::int64_t latent_slot_count() const { return latent_count_; }
+
   // --- failure ----------------------------------------------------------
   bool failed() const { return failed_; }
   /// Marks the disk failed and scrambles its contents (a failed disk's
   /// data must never be readable by accident).
   void fail();
-  /// Returns the disk to service (after a rebuild wrote fresh contents).
-  void heal() { failed_ = false; }
+  /// Install recovered bytes for one slot of a failed disk. heal()
+  /// requires every slot restored first — a healed disk must never
+  /// serve the post-fail() scramble pattern.
+  void restore_content(std::int64_t slot, std::span<const std::uint8_t> bytes);
+  /// True once every slot has been restored since the last fail().
+  bool fully_restored() const { return restored_count_ == slot_count_; }
+  /// Returns the (fully restored) disk to service, modeling a
+  /// replacement: the latent-slot set is discarded and the scheduled
+  /// fail-stop is disarmed. Asserts full content restoration.
+  void heal();
 
  private:
   int id_;
@@ -103,6 +151,16 @@ class SimDisk {
   DiskCounters counters_;
   std::vector<TraceEntry> trace_;
   std::vector<std::uint8_t> store_;
+
+  // Fault state. All vectors stay empty (zero cost) until a non-inert
+  // profile is installed / the disk first fails.
+  FaultProfile fault_;
+  Rng fault_rng_{0};
+  bool fail_stop_armed_ = false;
+  std::vector<bool> latent_;
+  std::int64_t latent_count_ = 0;
+  std::vector<bool> restored_;
+  std::int64_t restored_count_ = 0;
 };
 
 }  // namespace sma::disk

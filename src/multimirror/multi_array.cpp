@@ -176,21 +176,22 @@ Result<MultiReconReport> MultiMirrorArray::reconstruct() {
   double read_end = 0.0;
   for (const auto& r : reads) {
     read_end = std::max(
-        read_end, physical(r.physical_disk).submit(disk::IoKind::kRead,
-                                                   r.slot, 0.0));
+        read_end, physical(r.physical_disk).submit_ok(disk::IoKind::kRead,
+                                                      r.slot, 0.0));
     report.logical_bytes_read += cfg_.logical_element_bytes;
   }
   report.read_makespan_s = read_end;
 
-  // Phase 3: heal, install, and time replacement writes.
+  // Phase 3: install recovered contents, heal (heal() refuses a
+  // partially restored disk), and time replacement writes.
+  for (const auto& w : staged)
+    physical(w.physical_disk).restore_content(w.slot, w.bytes);
   for (const int p : failed) physical(p).heal();
   double total_end = read_end;
   for (const auto& w : staged) {
-    auto dst = physical(w.physical_disk).content(w.slot);
-    std::copy(w.bytes.begin(), w.bytes.end(), dst.begin());
     total_end = std::max(
         total_end, physical(w.physical_disk)
-                       .submit(disk::IoKind::kWrite, w.slot, read_end));
+                       .submit_ok(disk::IoKind::kWrite, w.slot, read_end));
     report.logical_bytes_recovered += cfg_.logical_element_bytes;
   }
   report.total_makespan_s = total_end;
@@ -249,8 +250,8 @@ MultiMirrorArray::run_degraded_reads(int read_count, std::uint64_t seed) {
     if (!primary) ++report.degraded_reads;
     ++assigned[static_cast<std::size_t>(best_phys)];
     makespan = std::max(
-        makespan, physical(best_phys).submit(disk::IoKind::kRead,
-                                             slot(stripe, best_row), 0.0));
+        makespan, physical(best_phys).submit_ok(disk::IoKind::kRead,
+                                                slot(stripe, best_row), 0.0));
     report.logical_bytes_read += cfg_.logical_element_bytes;
   }
   report.makespan_s = makespan;

@@ -80,7 +80,7 @@ Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
     }
     q.busy = true;
     const double done =
-        arr.physical(disk).submit(disk::IoKind::kRead, job.slot, sim.now());
+        arr.physical(disk).submit_ok(disk::IoKind::kRead, job.slot, sim.now());
     sim.schedule_at(done, [&, disk, job] {
       queues[static_cast<std::size_t>(disk)].busy = false;
       if (job.is_user) {

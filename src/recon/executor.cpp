@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "gf/region.hpp"
@@ -14,19 +16,44 @@ namespace sma::recon {
 namespace {
 
 using Buffer = std::vector<std::uint8_t>;
+using ElemPos = std::pair<int, int>;  // (logical disk, row)
 
 bool contains(const std::vector<int>& v, int x) {
   return std::find(v.begin(), v.end(), x) != v.end();
 }
 
+/// Fault-path tallies accumulated across all stripes of one rebuild.
+struct FaultCounts {
+  std::uint64_t latent_sectors_hit = 0;
+  std::uint64_t fallback_to_mirror = 0;
+  std::uint64_t fallback_to_parity = 0;
+  std::uint64_t fallback_to_codec = 0;
+  std::uint64_t unrecoverable_elements = 0;
+};
+
+/// Per-stripe recovery state: staged contents for each failed logical
+/// disk, which of those elements actually got recovered, and the exact
+/// element reads recovery consumed (for fault-aware timing).
+struct StripeRecovery {
+  std::map<int, std::vector<Buffer>> staged;
+  std::map<int, std::vector<char>> staged_ok;
+  std::set<ElemPos> availability_reads;
+  std::set<ElemPos> parity_rebuild_reads;
+  std::vector<ElemPos> unrecoverable;
+};
+
 /// Recover the contents of every failed logical disk of one mirror
-/// stripe into `out[logical][row]`.
+/// stripe into `rec.staged[logical][row]`, falling back across
+/// redundancy paths (replica copy <-> parity-XOR) when a source element
+/// is unreadable. Elements with no surviving path are zero-filled and
+/// listed in rec.unrecoverable rather than failing the stripe.
 Status recover_mirror_stripe(const array::DiskArray& arr, int stripe,
                              const std::vector<int>& failed,
-                             std::map<int, std::vector<Buffer>>& out) {
+                             StripeRecovery& rec, FaultCounts& fc) {
   const auto& arch = arr.arch();
   const std::size_t eb = arr.config().content_bytes;
   const int n = arch.n();
+  const int rows = arch.rows();
 
   std::vector<int> failed_data;
   std::vector<int> failed_mirror;
@@ -38,61 +65,158 @@ Status recover_mirror_stripe(const array::DiskArray& arr, int stripe,
       case layout::DiskRole::kParity: parity_failed = true; break;
     }
   }
-  for (const int disk : failed)
-    out.emplace(disk, std::vector<Buffer>(
-                          static_cast<std::size_t>(arch.rows()), Buffer(eb)));
+  for (const int disk : failed) {
+    rec.staged.emplace(disk, std::vector<Buffer>(
+                                 static_cast<std::size_t>(rows), Buffer(eb)));
+    rec.staged_ok.emplace(
+        disk, std::vector<char>(static_cast<std::size_t>(rows), 0));
+  }
+
+  auto mark_unrecoverable = [&](int disk, int j, Buffer& dst) {
+    std::fill(dst.begin(), dst.end(), 0);
+    rec.unrecoverable.push_back({disk, j});
+    ++fc.unrecoverable_elements;
+  };
+
+  // XOR the value of data element (i, j) into `acc`, best source first:
+  // the data copy, an already-staged recovery (in memory, no read), the
+  // mirror copy. Reads land in `local_reads` and replica fallbacks in
+  // `local_mirror` so a caller whose chain aborts midway can discard
+  // them instead of charging reads that were never consumed.
+  auto xor_data_into = [&](int i, int j, Buffer& acc,
+                           std::vector<ElemPos>& local_reads,
+                           int& local_mirror) -> bool {
+    const int dd = arch.data_disk(i);
+    if (!contains(failed, dd)) {
+      if (!arr.element_latent(dd, stripe, j)) {
+        gf::region_xor(arr.content(dd, stripe, j), acc);
+        local_reads.push_back({dd, j});
+        return true;
+      }
+      ++fc.latent_sectors_hit;
+    } else if (rec.staged_ok.at(dd)[static_cast<std::size_t>(j)]) {
+      gf::region_xor(rec.staged.at(dd)[static_cast<std::size_t>(j)], acc);
+      return true;
+    }
+    const layout::Pos rp = arch.replica_of(i, j);
+    if (!contains(failed, rp.disk)) {
+      if (!arr.element_latent(rp.disk, stripe, rp.row)) {
+        gf::region_xor(arr.content(rp.disk, stripe, rp.row), acc);
+        local_reads.push_back({rp.disk, rp.row});
+        ++local_mirror;
+        return true;
+      }
+      ++fc.latent_sectors_hit;
+    }
+    return false;
+  };
+
+  // Recover data element (x, j) through the parity equation (paper
+  // Section V-B case 4): XOR of the rest of row j with the parity
+  // element. Reads are committed only if the whole chain succeeds.
+  auto recover_via_parity = [&](int x, int j, Buffer& dst) -> bool {
+    if (!arch.has_parity() || parity_failed) return false;
+    const int pd = arch.parity_disk();
+    if (arr.element_latent(pd, stripe, j)) {
+      ++fc.latent_sectors_hit;
+      return false;
+    }
+    std::vector<ElemPos> local_reads;
+    int local_mirror = 0;
+    std::fill(dst.begin(), dst.end(), 0);
+    for (int i = 0; i < n; ++i) {
+      if (i == x) continue;
+      if (!xor_data_into(i, j, dst, local_reads, local_mirror)) {
+        std::fill(dst.begin(), dst.end(), 0);
+        return false;
+      }
+    }
+    gf::region_xor(arr.content(pd, stripe, j), dst);
+    local_reads.push_back({pd, j});
+    for (const auto& r : local_reads) rec.availability_reads.insert(r);
+    fc.fallback_to_mirror += static_cast<std::uint64_t>(local_mirror);
+    return true;
+  };
 
   // Data disks first: every later step may consult them.
   for (const int xd : failed_data) {
     const int x = arch.role_index(xd);
-    for (int j = 0; j < arch.rows(); ++j) {
-      Buffer& dst = out[xd][static_cast<std::size_t>(j)];
+    for (int j = 0; j < rows; ++j) {
+      Buffer& dst = rec.staged.at(xd)[static_cast<std::size_t>(j)];
       const layout::Pos replica = arch.replica_of(x, j);
       if (!contains(failed, replica.disk)) {
-        auto src = arr.content(replica.disk, stripe, replica.row);
-        std::copy(src.begin(), src.end(), dst.begin());
+        if (!arr.element_latent(replica.disk, stripe, replica.row)) {
+          auto src = arr.content(replica.disk, stripe, replica.row);
+          std::copy(src.begin(), src.end(), dst.begin());
+          rec.availability_reads.insert({replica.disk, replica.row});
+          rec.staged_ok.at(xd)[static_cast<std::size_t>(j)] = 1;
+          continue;
+        }
+        ++fc.latent_sectors_hit;
+      }
+      if (recover_via_parity(x, j, dst)) {
+        rec.staged_ok.at(xd)[static_cast<std::size_t>(j)] = 1;
+        ++fc.fallback_to_parity;
         continue;
       }
-      // Replica lost with it: XOR the rest of row j with the parity
-      // element (paper Section V-B case 4).
-      if (!arch.has_parity() || parity_failed)
-        return unrecoverable("mirror stripe not recoverable: element and "
-                             "replica lost without parity");
-      std::fill(dst.begin(), dst.end(), 0);
-      for (int i = 0; i < n; ++i) {
-        if (i == x) continue;
-        gf::region_xor(arr.content(arch.data_disk(i), stripe, j), dst);
-      }
-      gf::region_xor(arr.content(arch.parity_disk(), stripe, j), dst);
+      mark_unrecoverable(xd, j, dst);
     }
   }
 
   for (const int yd : failed_mirror) {
     const int y = arch.role_index(yd);
-    for (int j = 0; j < arch.rows(); ++j) {
-      Buffer& dst = out[yd][static_cast<std::size_t>(j)];
+    for (int j = 0; j < rows; ++j) {
+      Buffer& dst = rec.staged.at(yd)[static_cast<std::size_t>(j)];
       const layout::Pos src = arch.replicated_by(y, j);
-      const int src_disk = arch.data_disk(src.disk);
-      if (!contains(failed, src_disk)) {
-        auto bytes = arr.content(src_disk, stripe, src.row);
-        std::copy(bytes.begin(), bytes.end(), dst.begin());
-      } else {
-        dst = out[src_disk][static_cast<std::size_t>(src.row)];
+      const int sd = arch.data_disk(src.disk);
+      if (contains(failed, sd)) {
+        // Source data disk failed too: its staged recovery (if any) is
+        // the only copy left besides this lost one.
+        if (rec.staged_ok.at(sd)[static_cast<std::size_t>(src.row)]) {
+          dst = rec.staged.at(sd)[static_cast<std::size_t>(src.row)];
+          rec.staged_ok.at(yd)[static_cast<std::size_t>(j)] = 1;
+        } else {
+          mark_unrecoverable(yd, j, dst);
+        }
+        continue;
       }
+      if (!arr.element_latent(sd, stripe, src.row)) {
+        auto bytes = arr.content(sd, stripe, src.row);
+        std::copy(bytes.begin(), bytes.end(), dst.begin());
+        rec.availability_reads.insert({sd, src.row});
+        rec.staged_ok.at(yd)[static_cast<std::size_t>(j)] = 1;
+        continue;
+      }
+      ++fc.latent_sectors_hit;
+      if (recover_via_parity(src.disk, src.row, dst)) {
+        rec.staged_ok.at(yd)[static_cast<std::size_t>(j)] = 1;
+        ++fc.fallback_to_parity;
+        continue;
+      }
+      mark_unrecoverable(yd, j, dst);
     }
   }
 
   if (parity_failed) {
     const int pd = arch.parity_disk();
-    for (int j = 0; j < arch.rows(); ++j) {
-      Buffer& dst = out[pd][static_cast<std::size_t>(j)];
+    for (int j = 0; j < rows; ++j) {
+      Buffer& dst = rec.staged.at(pd)[static_cast<std::size_t>(j)];
+      std::vector<ElemPos> local_reads;
+      int local_mirror = 0;
       std::fill(dst.begin(), dst.end(), 0);
+      bool ok = true;
       for (int i = 0; i < n; ++i) {
-        const int disk = arch.data_disk(i);
-        if (contains(failed, disk))
-          gf::region_xor(out[disk][static_cast<std::size_t>(j)], dst);
-        else
-          gf::region_xor(arr.content(disk, stripe, j), dst);
+        if (!xor_data_into(i, j, dst, local_reads, local_mirror)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        rec.staged_ok.at(pd)[static_cast<std::size_t>(j)] = 1;
+        for (const auto& r : local_reads) rec.parity_rebuild_reads.insert(r);
+        fc.fallback_to_mirror += static_cast<std::uint64_t>(local_mirror);
+      } else {
+        mark_unrecoverable(pd, j, dst);
       }
     }
   }
@@ -101,25 +225,70 @@ Status recover_mirror_stripe(const array::DiskArray& arr, int stripe,
 
 Status recover_raid_stripe(const array::DiskArray& arr, int stripe,
                            const std::vector<int>& failed,
-                           std::map<int, std::vector<Buffer>>& out) {
+                           StripeRecovery& rec, FaultCounts& fc) {
   const auto* codec = arr.raid_codec();
   assert(codec != nullptr);
-  ec::ColumnSet cs = codec->make_stripe(arr.config().content_bytes);
+  const std::size_t eb = arr.config().content_bytes;
+  ec::ColumnSet cs = codec->make_stripe(eb);
+
+  for (const int disk : failed) {
+    rec.staged.emplace(
+        disk, std::vector<Buffer>(static_cast<std::size_t>(cs.rows()),
+                                  Buffer(eb)));
+    rec.staged_ok.emplace(
+        disk, std::vector<char>(static_cast<std::size_t>(cs.rows()), 0));
+  }
+
+  // A latent element on a live column poisons the whole column for the
+  // (column-granular) codec: add it to the erasure set and let decode
+  // regenerate it alongside the failed columns.
+  std::vector<int> erased = failed;
   for (int col = 0; col < cs.columns(); ++col) {
     if (contains(failed, col)) continue;
+    bool latent_col = false;
+    for (int j = 0; j < cs.rows(); ++j) {
+      if (arr.element_latent(col, stripe, j)) {
+        ++fc.latent_sectors_hit;
+        latent_col = true;
+      }
+    }
+    if (latent_col) {
+      erased.push_back(col);
+      ++fc.fallback_to_codec;
+    }
+  }
+  std::sort(erased.begin(), erased.end());
+
+  if (static_cast<int>(erased.size()) > codec->fault_tolerance()) {
+    // Latent errors pushed the stripe past the code's tolerance: every
+    // element of every failed column is lost (zero-filled staging).
+    for (const int col : failed) {
+      for (int j = 0; j < cs.rows(); ++j) {
+        rec.unrecoverable.push_back({col, j});
+        ++fc.unrecoverable_elements;
+      }
+    }
+    return Status::ok();
+  }
+
+  for (int col = 0; col < cs.columns(); ++col) {
+    if (contains(erased, col)) continue;
     for (int j = 0; j < cs.rows(); ++j) {
       auto src = arr.content(col, stripe, j);
       auto dst = cs.element(col, j);
       std::copy(src.begin(), src.end(), dst.begin());
+      rec.availability_reads.insert({col, j});
     }
   }
-  SMA_RETURN_IF_ERROR(codec->decode(cs, failed));
+  SMA_RETURN_IF_ERROR(codec->decode(cs, erased));
   for (const int col : failed) {
-    auto& bufs = out.emplace(col, std::vector<Buffer>()).first->second;
-    bufs.clear();
+    auto& bufs = rec.staged.at(col);
+    auto& oks = rec.staged_ok.at(col);
     for (int j = 0; j < cs.rows(); ++j) {
       auto e = cs.element(col, j);
-      bufs.emplace_back(e.begin(), e.end());
+      std::copy(e.begin(), e.end(),
+                bufs[static_cast<std::size_t>(j)].begin());
+      oks[static_cast<std::size_t>(j)] = 1;
     }
   }
   return Status::ok();
@@ -140,13 +309,15 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
 
   const auto& arch = arr.arch();
   const int rows = arch.rows();
+  const bool faulty = arr.faults_active();
 
   // Phase 1: plan and recover contents, stripe by stripe, into staging
   // keyed by (stripe, logical disk).
   std::vector<std::vector<array::Op>> stripe_reads(
       static_cast<std::size_t>(arr.stripes()));
-  std::vector<std::map<int, std::vector<Buffer>>> staged(
-      static_cast<std::size_t>(arr.stripes()));
+  std::vector<StripeRecovery> staged(static_cast<std::size_t>(arr.stripes()));
+  FaultCounts fc;
+  array::ElementSet skip;
   for (int s = 0; s < arr.stripes(); ++s) {
     std::vector<int> failed_logical;
     failed_logical.reserve(failed_physical.size());
@@ -159,41 +330,62 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
     report.read_accesses_per_stripe = std::max(
         report.read_accesses_per_stripe, plan.value().read_accesses(arch));
 
-    auto& reads = stripe_reads[static_cast<std::size_t>(s)];
-    for (const auto& read : plan.value().availability_reads)
-      reads.push_back({read.logical_disk, s, read.row, disk::IoKind::kRead});
-    if (opts.include_parity_rebuild)
-      for (const auto& read : plan.value().parity_rebuild_reads)
-        reads.push_back({read.logical_disk, s, read.row, disk::IoKind::kRead});
-
+    StripeRecovery& rec = staged[static_cast<std::size_t>(s)];
     Status recovered =
         arch.is_mirror()
-            ? recover_mirror_stripe(arr, s, failed_logical,
-                                    staged[static_cast<std::size_t>(s)])
-            : recover_raid_stripe(arr, s, failed_logical,
-                                  staged[static_cast<std::size_t>(s)]);
+            ? recover_mirror_stripe(arr, s, failed_logical, rec, fc)
+            : recover_raid_stripe(arr, s, failed_logical, rec, fc);
     if (!recovered.is_ok()) return recovered;
-  }
+    for (const auto& [d, r] : rec.unrecoverable) skip.insert({d, s, r});
 
-  // Phase 2: heal the failed disks and install recovered contents (the
-  // timing below is content-independent).
-  for (const int p : failed_physical) arr.physical(p).heal();
+    auto& reads = stripe_reads[static_cast<std::size_t>(s)];
+    if (!faulty) {
+      // Fault-free: time the planner's read set, exactly as the
+      // pre-fault executor did (bit-identical timing).
+      for (const auto& read : plan.value().availability_reads)
+        reads.push_back({read.logical_disk, s, read.row, disk::IoKind::kRead});
+      if (opts.include_parity_rebuild)
+        for (const auto& read : plan.value().parity_rebuild_reads)
+          reads.push_back(
+              {read.logical_disk, s, read.row, disk::IoKind::kRead});
+    } else {
+      // Fault-aware: time exactly the reads recovery consumed, fallback
+      // detours included.
+      for (const auto& [d, r] : rec.availability_reads)
+        reads.push_back({d, s, r, disk::IoKind::kRead});
+      if (opts.include_parity_rebuild)
+        for (const auto& [d, r] : rec.parity_rebuild_reads)
+          if (rec.availability_reads.count({d, r}) == 0)
+            reads.push_back({d, s, r, disk::IoKind::kRead});
+    }
+  }
+  report.latent_sectors_hit = fc.latent_sectors_hit;
+  report.fallback_to_mirror = fc.fallback_to_mirror;
+  report.fallback_to_parity = fc.fallback_to_parity;
+  report.fallback_to_codec = fc.fallback_to_codec;
+  report.unrecoverable_elements = fc.unrecoverable_elements;
+
+  // Phase 2: install the recovered contents on the (still-failed)
+  // disks, then heal them — heal() refuses a partially restored disk.
   std::vector<std::vector<array::Op>> stripe_writes(
       static_cast<std::size_t>(arr.stripes()));
   for (int s = 0; s < arr.stripes(); ++s) {
-    for (auto& [logical, buffers] : staged[static_cast<std::size_t>(s)]) {
+    for (auto& [logical, buffers] : staged[static_cast<std::size_t>(s)].staged) {
       for (int j = 0; j < rows; ++j) {
-        auto dst = arr.content(logical, s, j);
-        const Buffer& src = buffers[static_cast<std::size_t>(j)];
-        std::copy(src.begin(), src.end(), dst.begin());
+        arr.restore_element(logical, s, j, buffers[static_cast<std::size_t>(j)]);
         stripe_writes[static_cast<std::size_t>(s)].push_back(
             {logical, s, j, disk::IoKind::kWrite});
       }
     }
   }
+  for (const int p : failed_physical) arr.physical(p).heal();
 
   // Phase 3: timing on fresh timelines.
   arr.reset_timelines();
+  auto absorb = [&report](const array::BatchStats& stats) {
+    report.retried_ops += stats.retried_ops;
+    report.hard_errors += stats.failed_ops;
+  };
   if (opts.pipelined) {
     // Each stripe's writes depend only on that stripe's reads; disks
     // overlap the next stripe's reads with this stripe's writes.
@@ -204,10 +396,12 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
       report.stripe_read_done_s.push_back(rstats.end_s);
       report.read_makespan_s = std::max(report.read_makespan_s, rstats.end_s);
       report.logical_bytes_read += rstats.logical_bytes_read;
+      absorb(rstats);
       const auto wstats = arr.execute(
           stripe_writes[static_cast<std::size_t>(s)], rstats.end_s);
       report.total_makespan_s = std::max(report.total_makespan_s, wstats.end_s);
       report.logical_bytes_recovered += wstats.logical_bytes_written;
+      absorb(wstats);
     }
     report.total_makespan_s =
         std::max(report.total_makespan_s, report.read_makespan_s);
@@ -224,13 +418,15 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
     const auto read_stats = arr.execute(read_ops, 0.0);
     report.read_makespan_s = read_stats.elapsed_s();
     report.logical_bytes_read = read_stats.logical_bytes_read;
+    absorb(read_stats);
     const auto write_stats = arr.execute(write_ops, report.read_makespan_s);
     report.total_makespan_s = write_stats.end_s;
     report.logical_bytes_recovered = write_stats.logical_bytes_written;
+    absorb(write_stats);
   }
 
   if (opts.verify) {
-    Status ok = arr.verify_consistency();
+    Status ok = arr.verify_consistency(skip.empty() ? nullptr : &skip);
     if (!ok.is_ok()) return ok;
   }
   return report;

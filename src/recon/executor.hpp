@@ -3,6 +3,13 @@
 // on the disk model — and verifies the result, mirroring the paper's
 // Section VII methodology ("after each reconstruction process, we also
 // compared the original data ... and the recovered data").
+//
+// With fault injection active (DiskArray::faults_active()) the rebuild
+// becomes error-aware: sources that turn out unreadable (latent
+// sectors) are replaced by an alternate redundancy path — the mirror
+// copy, the parity-XOR equation, or a codec decode with the latent
+// column added to the erasure set — and elements with no surviving
+// path are zero-filled and counted instead of aborting the rebuild.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +28,9 @@ struct ReconOptions {
   /// Verify mirror/parity internal consistency of the whole array after
   /// the rebuild (valid even after user writes; tests that populated the
   /// array with the deterministic pattern additionally call
-  /// DiskArray::verify_all for byte-exact checking).
+  /// DiskArray::verify_all for byte-exact checking). Elements that lost
+  /// every redundancy path are excluded from the check and reported in
+  /// unrecoverable_elements instead.
   bool verify = true;
   /// Pipeline the rebuild per stripe: each stripe's replacement writes
   /// start as soon as that stripe's reads complete, overlapping the
@@ -45,15 +54,38 @@ struct ReconReport {
   /// from recovered state. The recovery-time CDF of the rebuild.
   std::vector<double> stripe_read_done_s;
 
+  // --- fault accounting (all zero on a fault-free rebuild) -------------
+  /// Timing-phase re-submissions after transient errors.
+  std::uint64_t retried_ops = 0;
+  /// Timing-phase ops that never completed (retries exhausted or hard).
+  std::uint64_t hard_errors = 0;
+  /// Recovery sources that turned out to be latent unreadable sectors.
+  std::uint64_t latent_sectors_hit = 0;
+  /// Elements whose primary source was unreadable and whose value came
+  /// from the surviving mirror copy instead.
+  std::uint64_t fallback_to_mirror = 0;
+  /// Elements recovered through the parity-XOR equation because both
+  /// the element and its copy were unavailable.
+  std::uint64_t fallback_to_parity = 0;
+  /// RAID stripes where a latent element on a *live* column forced the
+  /// codec to treat that column as an additional erasure.
+  std::uint64_t fallback_to_codec = 0;
+  /// Elements with no surviving redundancy path: zero-filled, excluded
+  /// from verification, reported instead of aborting the rebuild.
+  std::uint64_t unrecoverable_elements = 0;
+
+  /// True when at least one element could not be recovered.
+  bool degraded() const { return unrecoverable_elements > 0; }
+
   /// The paper's "data availability during reconstruction": read
   /// throughput of the reconstruction read phase, MB/s.
   double read_throughput_mbps() const;
 };
 
 /// Rebuild every failed physical disk of `arr` in place: recover
-/// contents, heal the disks, write the recovered bytes back, and (if
-/// opts.verify) check the whole array. Timing state of the array is
-/// reset at the start so the report is self-contained.
+/// contents, restore + heal the disks, time the reads and replacement
+/// writes, and (if opts.verify) check the whole array. Timing state of
+/// the array is reset at the start so the report is self-contained.
 Result<ReconReport> reconstruct(array::DiskArray& arr,
                                 const ReconOptions& opts = {});
 

@@ -22,6 +22,8 @@ struct Job {
   // the job is still queued.
   int data_disk = -1;
   int row = -1;
+  // Transient-error re-submissions consumed so far (bounded retry).
+  int attempts = 0;
 };
 
 struct DiskQueue {
@@ -102,6 +104,30 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   SampleSet write_latencies;
   std::vector<Request> requests;
 
+  // Retire one job — user piece (latency accounting on the last piece)
+  // or rebuild read (stripe bookkeeping). Shared by the success path and
+  // the abandoned-op path, so a failed op still lets its request finish.
+  auto complete_job = [&](const Job& job) {
+    if (job.request_id >= 0) {
+      Request& rq = requests[static_cast<std::size_t>(job.request_id)];
+      if (--rq.pieces_left == 0) {
+        const double latency = sim.now() - rq.arrival;
+        if (rq.is_write) {
+          write_latencies.add(latency);
+        } else {
+          read_latencies.add(latency);
+          if (rq.degraded) degraded_latencies.add(latency);
+        }
+      }
+    } else {
+      --stripe_pending[static_cast<std::size_t>(job.stripe)];
+      --rebuild_remaining;
+      if (rebuild_remaining == 0) report.rebuild_done_s = sim.now();
+    }
+  };
+
+  bool injection_failed = false;
+  std::function<void(int)> handle_disk_death;  // defined below dispatch
   std::function<void(int)> dispatch = [&](int disk) {
     if (arr.physical(disk).failed()) return;
     auto& q = queues[static_cast<std::size_t>(disk)];
@@ -117,26 +143,48 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       return;
     }
     q.busy = true;
-    const double done = arr.physical(disk).submit(job.kind, job.slot, sim.now());
-    sim.schedule_at(done, [&, disk, job] {
-      auto& dq = queues[static_cast<std::size_t>(disk)];
-      dq.busy = false;
-      if (job.request_id >= 0) {
-        Request& rq = requests[static_cast<std::size_t>(job.request_id)];
-        if (--rq.pieces_left == 0) {
-          const double latency = sim.now() - rq.arrival;
-          if (rq.is_write) {
-            write_latencies.add(latency);
-          } else {
-            read_latencies.add(latency);
-            if (rq.degraded) degraded_latencies.add(latency);
-          }
-        }
-      } else {
-        --stripe_pending[static_cast<std::size_t>(job.stripe)];
-        --rebuild_remaining;
-        if (rebuild_remaining == 0) report.rebuild_done_s = sim.now();
+    disk::SimDisk& d = arr.physical(disk);
+    const disk::IoResult res = d.submit(job.kind, job.slot, sim.now());
+    if (!res.is_ok()) {
+      if (d.failed()) {
+        // A FaultProfile-scheduled fail-stop manifested: absorb it like
+        // a configured second failure. The unserved job goes back in
+        // front so the death handling replans / reroutes it with the
+        // rest of the queue.
+        q.busy = false;
+        if (job.request_id >= 0)
+          q.user.push_front(job);
+        else
+          q.rebuild.push_front(job);
+        ++report.fail_stops_absorbed;
+        handle_disk_death(disk);
+        return;
       }
+      // Transient error or unreadable sector: the attempt occupied the
+      // disk for its full service time. Retry transients in place
+      // (bounded); abandon the op otherwise so the request completes.
+      const bool transient = res.status().code() == ErrorCode::kIoError;
+      sim.schedule_at(d.busy_until(), [&, disk, job, transient]() mutable {
+        auto& dq = queues[static_cast<std::size_t>(disk)];
+        dq.busy = false;
+        if (transient && job.attempts < arr.config().io_max_retries) {
+          ++job.attempts;
+          ++report.io_retries;
+          if (job.request_id >= 0)
+            dq.user.push_front(job);
+          else
+            dq.rebuild.push_front(job);
+        } else {
+          ++report.io_failures;
+          complete_job(job);
+        }
+        dispatch(disk);
+      });
+      return;
+    }
+    sim.schedule_at(res.value(), [&, disk, job] {
+      queues[static_cast<std::size_t>(disk)].busy = false;
+      complete_job(job);
       dispatch(disk);
     });
   };
@@ -247,69 +295,74 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     sim.schedule_in(rng.next_exponential(1.0 / cfg.user_read_rate_hz), arrive);
   };
 
-  // Second-failure injection: kill the disk, drop its queue, replan all
-  // unfinished stripes, reroute its queued user reads, and complete its
-  // queued user write pieces as skipped.
-  bool injection_failed = false;
+  // Absorb the death of `dead` (already marked failed): drop every
+  // queued rebuild job, replan all stripes against the full current
+  // failure set, reroute the dead disk's queued user reads to surviving
+  // copies, and complete its queued user write pieces as skipped. Used
+  // by both the configured second-failure injection and FaultProfile-
+  // scheduled fail-stops that manifest in dispatch.
+  handle_disk_death = [&](int dead) {
+    // Forget every queued rebuild job (their stripes get replanned).
+    for (auto& q : queues) {
+      for (const auto& job : q.rebuild) {
+        --stripe_pending[static_cast<std::size_t>(job.stripe)];
+        --rebuild_remaining;
+      }
+      q.rebuild.clear();
+    }
+    // Replan ALL stripes for the full current failure set. This is
+    // conservative: stripes whose first-failure reads had completed
+    // are read again, a bounded overestimate of rebuild work that
+    // keeps the planner the single source of truth for what the
+    // double-failure rebuild needs.
+    for (int s = 0; s < arr.stripes(); ++s) {
+      if (!plan_stripe(s)) {
+        injection_failed = true;
+        return;
+      }
+    }
+    // Reroute queued user jobs of the dead disk.
+    auto& dq = queues[static_cast<std::size_t>(dead)];
+    std::deque<Job> orphans = std::move(dq.user);
+    dq.user.clear();
+    for (const Job& job : orphans) {
+      Request& rq = requests[static_cast<std::size_t>(job.request_id)];
+      if (job.kind == disk::IoKind::kWrite) {
+        // The copy this piece targeted is gone; the write completes
+        // on the remaining copies.
+        if (--rq.pieces_left == 0)
+          write_latencies.add(sim.now() - rq.arrival);
+        continue;
+      }
+      // Re-issue the read against surviving copies.
+      bool degraded = false;
+      auto pieces = read_pieces(job.data_disk, job.stripe, job.row, degraded);
+      if (pieces.empty()) {
+        if (--rq.pieces_left == 0)
+          read_latencies.add(sim.now() - rq.arrival);
+        continue;
+      }
+      rq.pieces_left += static_cast<int>(pieces.size()) - 1;
+      if (degraded && !rq.degraded) {
+        rq.degraded = true;
+        ++report.degraded_reads;
+      }
+      for (auto& [phys, piece_job] : pieces) {
+        piece_job.request_id = job.request_id;
+        enqueue_user(phys, piece_job);
+      }
+    }
+    // Kick all survivors (new rebuild work everywhere).
+    for (int d = 0; d < arr.total_disks(); ++d) dispatch(d);
+  };
+
   if (inject_second) {
     sim.schedule_at(cfg.second_failure_at_s, [&] {
       const int dead = cfg.second_failure_disk;
       if (arr.physical(dead).failed()) return;
       report.second_failure_injected = true;
       arr.fail_physical(dead);
-
-      // Forget every queued rebuild job (their stripes get replanned).
-      for (auto& q : queues) {
-        for (const auto& job : q.rebuild) {
-          --stripe_pending[static_cast<std::size_t>(job.stripe)];
-          --rebuild_remaining;
-        }
-        q.rebuild.clear();
-      }
-      // Replan ALL stripes for the full current failure set. This is
-      // conservative: stripes whose first-failure reads had completed
-      // are read again, a bounded overestimate of rebuild work that
-      // keeps the planner the single source of truth for what the
-      // double-failure rebuild needs.
-      for (int s = 0; s < arr.stripes(); ++s) {
-        if (!plan_stripe(s)) {
-          injection_failed = true;
-          return;
-        }
-      }
-      // Reroute queued user jobs of the dead disk.
-      auto& dq = queues[static_cast<std::size_t>(dead)];
-      std::deque<Job> orphans = std::move(dq.user);
-      dq.user.clear();
-      for (const Job& job : orphans) {
-        Request& rq = requests[static_cast<std::size_t>(job.request_id)];
-        if (job.kind == disk::IoKind::kWrite) {
-          // The copy this piece targeted is gone; the write completes
-          // on the remaining copies.
-          if (--rq.pieces_left == 0)
-            write_latencies.add(sim.now() - rq.arrival);
-          continue;
-        }
-        // Re-issue the read against surviving copies.
-        bool degraded = false;
-        auto pieces = read_pieces(job.data_disk, job.stripe, job.row, degraded);
-        if (pieces.empty()) {
-          if (--rq.pieces_left == 0)
-            read_latencies.add(sim.now() - rq.arrival);
-          continue;
-        }
-        rq.pieces_left += static_cast<int>(pieces.size()) - 1;
-        if (degraded && !rq.degraded) {
-          rq.degraded = true;
-          ++report.degraded_reads;
-        }
-        for (auto& [phys, piece_job] : pieces) {
-          piece_job.request_id = job.request_id;
-          enqueue_user(phys, piece_job);
-        }
-      }
-      // Kick all survivors (new rebuild work everywhere).
-      for (int d = 0; d < arr.total_disks(); ++d) dispatch(d);
+      handle_disk_death(dead);
     });
   }
 

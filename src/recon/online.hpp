@@ -7,6 +7,13 @@
 // traditional arrangement — where rebuild traffic saturates the single
 // partner disk, queueing user reads behind it — with the shifted
 // arrangement, where rebuild load spreads across all disks.
+//
+// Fault injection: disks carrying a FaultProfile may return transient
+// errors (retried in place, bounded), unreadable sectors (the op is
+// abandoned and counted), or fail-stop mid-run — a scheduled fail-stop
+// is absorbed exactly like a configured second failure: queues dropped,
+// every stripe replanned against the new failure set, orphaned user
+// jobs rerouted to surviving copies.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +57,17 @@ struct OnlineReport {
   double p99_write_latency_s = 0.0;
   /// Set when a second failure was injected and absorbed.
   bool second_failure_injected = false;
+
+  // --- fault accounting (all zero with inert profiles) -----------------
+  /// Re-submissions after transient I/O errors (bounded per op by
+  /// ArrayConfig::io_max_retries).
+  std::uint64_t io_retries = 0;
+  /// Ops abandoned after exhausting retries or hitting an unreadable
+  /// sector; their requests complete degraded rather than hanging.
+  std::uint64_t io_failures = 0;
+  /// FaultProfile-scheduled fail-stops that manifested mid-run and were
+  /// absorbed through the second-failure replanning machinery.
+  int fail_stops_absorbed = 0;
 };
 
 /// Run the on-line rebuild of `arr`'s failed physical disks (mirror

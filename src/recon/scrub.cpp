@@ -50,17 +50,66 @@ Result<ScrubReport> scrub(array::DiskArray& arr) {
   report.logical_bytes_read = stats.logical_bytes_read;
 
   for (int s = 0; s < arr.stripes(); ++s) {
-    // Pass 1: data vs replica, with parity arbitration.
+    // Whether the parity arbitration of data element i in row j can be
+    // evaluated: every other data element of the row — and the parity
+    // element — must be readable. (Always true with inert profiles.)
+    auto parity_path_readable = [&](int skip_i, int j) -> bool {
+      if (arr.element_latent(arch.parity_disk(), s, j)) return false;
+      for (int k = 0; k < arch.n(); ++k) {
+        if (k == skip_i) continue;
+        if (arr.element_latent(arch.data_disk(k), s, j)) return false;
+      }
+      return true;
+    };
+
+    // Pass 1: data vs replica, with parity arbitration. Unreadable
+    // sectors are arbitration input: a pair with one unreadable copy is
+    // decided by the readable one (rewrite + remap), a pair with both
+    // copies unreadable falls back to the parity row.
     for (int i = 0; i < arch.n(); ++i) {
       for (int j = 0; j < arch.rows(); ++j) {
         ++report.elements_scanned;
         auto data = arr.content(arch.data_disk(i), s, j);
         const layout::Pos rp = arch.replica_of(i, j);
         auto mirror = arr.content(rp.disk, s, rp.row);
+
+        const bool data_unreadable =
+            arr.element_latent(arch.data_disk(i), s, j);
+        const bool mirror_unreadable = arr.element_latent(rp.disk, s, rp.row);
+        if (data_unreadable || mirror_unreadable) {
+          report.unreadable_sectors +=
+              static_cast<std::uint64_t>(data_unreadable) +
+              static_cast<std::uint64_t>(mirror_unreadable);
+          if (data_unreadable != mirror_unreadable) {
+            // One readable copy survives: it is authoritative.
+            if (data_unreadable) {
+              std::copy(mirror.begin(), mirror.end(), data.begin());
+              arr.clear_element_latent(arch.data_disk(i), s, j);
+            } else {
+              std::copy(data.begin(), data.end(), mirror.begin());
+              arr.clear_element_latent(rp.disk, s, rp.row);
+            }
+            ++report.remapped;
+          } else if (arch.has_parity() && parity_path_readable(i, j)) {
+            // Both copies unreadable: rebuild the value from the
+            // parity row and rewrite both in place.
+            row_xor_except(arr, s, j, i, expect);
+            gf::region_xor(arr.content(arch.parity_disk(), s, j), expect);
+            std::copy(expect.begin(), expect.end(), data.begin());
+            std::copy(expect.begin(), expect.end(), mirror.begin());
+            arr.clear_element_latent(arch.data_disk(i), s, j);
+            arr.clear_element_latent(rp.disk, s, rp.row);
+            report.remapped += 2;
+          } else {
+            ++report.undecidable;
+          }
+          continue;
+        }
+
         if (equal_spans(data, mirror)) continue;
         ++report.mismatches;
 
-        if (!arch.has_parity()) {
+        if (!arch.has_parity() || !parity_path_readable(i, j)) {
           ++report.undecidable;
           continue;
         }
@@ -82,21 +131,33 @@ Result<ScrubReport> scrub(array::DiskArray& arr) {
       }
     }
     // Pass 2: parity column against the (now repaired) data rows. Only
-    // rewrite when every data/mirror pair of the row agrees, so a
-    // lone corrupted parity element is distinguishable from an
-    // undecidable data corruption.
+    // rewrite when every data/mirror pair of the row agrees and is
+    // readable, so a lone corrupted parity element is distinguishable
+    // from an undecidable data corruption.
     if (arch.has_parity()) {
       for (int j = 0; j < arch.rows(); ++j) {
-        bool row_pairs_agree = true;
+        bool row_pairs_usable = true;
         for (int i = 0; i < arch.n(); ++i) {
           const layout::Pos rp = arch.replica_of(i, j);
-          if (!equal_spans(arr.content(arch.data_disk(i), s, j),
+          if (arr.element_latent(arch.data_disk(i), s, j) ||
+              arr.element_latent(rp.disk, s, rp.row) ||
+              !equal_spans(arr.content(arch.data_disk(i), s, j),
                            arr.content(rp.disk, s, rp.row)))
-            row_pairs_agree = false;
+            row_pairs_usable = false;
         }
-        if (!row_pairs_agree) continue;
-        row_xor_except(arr, s, j, /*skip_disk=*/-1, expect);
+        if (!row_pairs_usable) continue;
         auto parity = arr.content(arch.parity_disk(), s, j);
+        if (arr.element_latent(arch.parity_disk(), s, j)) {
+          // Unreadable parity element: recompute it from the (agreed,
+          // readable) data row and remap the sector.
+          ++report.unreadable_sectors;
+          row_xor_except(arr, s, j, /*skip_disk=*/-1, expect);
+          std::copy(expect.begin(), expect.end(), parity.begin());
+          arr.clear_element_latent(arch.parity_disk(), s, j);
+          ++report.remapped;
+          continue;
+        }
+        row_xor_except(arr, s, j, /*skip_disk=*/-1, expect);
         if (!equal_spans(expect, parity)) {
           std::copy(expect.begin(), expect.end(), parity.begin());
           ++report.repaired_parity;

@@ -30,6 +30,11 @@ struct ScrubReport {
   std::uint64_t repaired_parity = 0;
   /// Mismatches with no parity (or no surviving arbitration path).
   std::uint64_t undecidable = 0;
+  /// Latent unreadable sectors (FaultProfile) discovered by the scan.
+  std::uint64_t unreadable_sectors = 0;
+  /// Unreadable elements rewritten in place from a surviving redundancy
+  /// path (remapping the latent sector); the rest become undecidable.
+  std::uint64_t remapped = 0;
   /// Full-scan timing on the disk model (all disks stream in parallel).
   double makespan_s = 0.0;
   std::uint64_t logical_bytes_read = 0;
@@ -38,8 +43,13 @@ struct ScrubReport {
 };
 
 /// Scrub a mirror-architecture array: detect and (where arbitration is
-/// possible) repair latent element corruption in place. Requires all
-/// disks healthy — scrub a degraded array after rebuilding it.
+/// possible) repair latent element corruption in place. Elements whose
+/// slots carry FaultProfile latent *unreadable* sectors participate as
+/// arbitration input: an unreadable copy is rewritten (remapped) from
+/// its readable partner, or from the parity row when both copies are
+/// unreadable; arbitration paths that would read through an unreadable
+/// element are treated as unavailable. Requires all disks healthy —
+/// scrub a degraded array after rebuilding it.
 Result<ScrubReport> scrub(array::DiskArray& arr);
 
 /// Corrupt `count` distinct random elements (any role) by flipping

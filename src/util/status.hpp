@@ -23,6 +23,8 @@ enum class ErrorCode {
   kUnrecoverable,   // data loss: more failures than the code tolerates
   kCorruption,      // content verification mismatch
   kInternal,
+  kIoError,           // disk I/O failed (fail-stop or transient error)
+  kUnreadableSector,  // latent media error: this element cannot be read
 };
 
 /// Human-readable name of an ErrorCode ("OK", "InvalidArgument", ...).
@@ -35,6 +37,8 @@ constexpr std::string_view to_string(ErrorCode c) {
     case ErrorCode::kUnrecoverable: return "Unrecoverable";
     case ErrorCode::kCorruption: return "Corruption";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kIoError: return "IoError";
+    case ErrorCode::kUnreadableSector: return "UnreadableSector";
   }
   return "Unknown";
 }
@@ -87,6 +91,12 @@ inline Status corruption(std::string msg) {
 }
 inline Status internal_error(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));
+}
+inline Status io_error(std::string msg) {
+  return Status(ErrorCode::kIoError, std::move(msg));
+}
+inline Status unreadable_sector(std::string msg) {
+  return Status(ErrorCode::kUnreadableSector, std::move(msg));
 }
 
 /// Value-or-error. Construct from a T for success or a Status for failure.

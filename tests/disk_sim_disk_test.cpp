@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 namespace sma::disk {
 namespace {
@@ -22,7 +23,7 @@ DiskSpec flat_spec() {
 TEST(SimDisk, FirstAccessPaysPositioning) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
   // transfer = 1 s; positioning = 10 ms.
-  const double done = d.submit(IoKind::kRead, 0, 0.0);
+  const double done = d.submit_ok(IoKind::kRead, 0, 0.0);
   EXPECT_NEAR(done, 1.010, 1e-9);
   EXPECT_EQ(d.counters().reads, 1u);
   EXPECT_EQ(d.counters().sequential, 0u);
@@ -30,33 +31,33 @@ TEST(SimDisk, FirstAccessPaysPositioning) {
 
 TEST(SimDisk, SequentialContinuationSkipsPositioning) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  d.submit(IoKind::kRead, 3, 0.0);
-  const double done = d.submit(IoKind::kRead, 4, 0.0);
+  d.submit_ok(IoKind::kRead, 3, 0.0);
+  const double done = d.submit_ok(IoKind::kRead, 4, 0.0);
   EXPECT_NEAR(done, 1.010 + 1.0, 1e-9);
   EXPECT_EQ(d.counters().sequential, 1u);
 }
 
 TEST(SimDisk, NonAdjacentSlotSeeksAgain) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  d.submit(IoKind::kRead, 3, 0.0);
-  const double done = d.submit(IoKind::kRead, 7, 0.0);
+  d.submit_ok(IoKind::kRead, 3, 0.0);
+  const double done = d.submit_ok(IoKind::kRead, 7, 0.0);
   EXPECT_NEAR(done, 2 * 1.010, 1e-9);
   // Backward movement seeks too.
-  const double done2 = d.submit(IoKind::kRead, 6, 0.0);
+  const double done2 = d.submit_ok(IoKind::kRead, 6, 0.0);
   EXPECT_NEAR(done2, 3 * 1.010, 1e-9);
 }
 
 TEST(SimDisk, EarliestStartDelaysService) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  const double done = d.submit(IoKind::kRead, 0, 5.0);
+  const double done = d.submit_ok(IoKind::kRead, 0, 5.0);
   EXPECT_NEAR(done, 6.010, 1e-9);
 }
 
 TEST(SimDisk, QueueingBehindPriorIo) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  d.submit(IoKind::kRead, 0, 0.0);  // done at 1.010
+  d.submit_ok(IoKind::kRead, 0, 0.0);  // done at 1.010
   // Requested at t=0 but must wait; continues sequentially.
-  const double done = d.submit(IoKind::kRead, 1, 0.0);
+  const double done = d.submit_ok(IoKind::kRead, 1, 0.0);
   EXPECT_NEAR(done, 2.010, 1e-9);
 }
 
@@ -64,7 +65,7 @@ TEST(SimDisk, WriteUsesWriteRate) {
   DiskSpec s = flat_spec();
   s.write_mbps = 2.0;  // writes twice as fast
   SimDisk d(0, s, 10, 16, 1'000'000);
-  const double done = d.submit(IoKind::kWrite, 0, 0.0);
+  const double done = d.submit_ok(IoKind::kWrite, 0, 0.0);
   EXPECT_NEAR(done, 0.510, 1e-9);
   EXPECT_EQ(d.counters().writes, 1u);
   EXPECT_EQ(d.counters().logical_bytes_written, 1'000'000u);
@@ -80,17 +81,17 @@ TEST(SimDisk, PeekDoesNotMutate) {
 
 TEST(SimDisk, ResetTimelineForgetsHeadPosition) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  d.submit(IoKind::kRead, 4, 0.0);
+  d.submit_ok(IoKind::kRead, 4, 0.0);
   d.reset_timeline();
   EXPECT_DOUBLE_EQ(d.busy_until(), 0.0);
   // Slot 5 would have been sequential; after reset it seeks.
-  const double done = d.submit(IoKind::kRead, 5, 0.0);
+  const double done = d.submit_ok(IoKind::kRead, 5, 0.0);
   EXPECT_NEAR(done, 1.010, 1e-9);
 }
 
 TEST(SimDisk, ResetCountersZeroesStats) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  d.submit(IoKind::kRead, 0, 0.0);
+  d.submit_ok(IoKind::kRead, 0, 0.0);
   d.reset_counters();
   EXPECT_EQ(d.counters().reads, 0u);
   EXPECT_DOUBLE_EQ(d.counters().busy_s, 0.0);
@@ -114,15 +115,22 @@ TEST(SimDisk, FailScramblesContentAndHealRestoresService) {
   d.fail();
   EXPECT_TRUE(d.failed());
   EXPECT_NE(d.content(0)[0], 0x42);  // data gone
+  // heal() requires every slot restored first.
+  const std::vector<std::uint8_t> bytes(8, 0x42);
+  d.restore_content(0, bytes);
+  EXPECT_FALSE(d.fully_restored());
+  d.restore_content(1, bytes);
+  EXPECT_TRUE(d.fully_restored());
   d.heal();
   EXPECT_FALSE(d.failed());
-  d.submit(IoKind::kWrite, 0, 0.0);  // usable again
+  EXPECT_EQ(d.content(0)[0], 0x42);  // restored, not scramble pattern
+  d.submit_ok(IoKind::kWrite, 0, 0.0);  // usable again
   EXPECT_EQ(d.counters().writes, 1u);
 }
 
 TEST(SimDisk, TraceDisabledByDefault) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  d.submit(IoKind::kRead, 0, 0.0);
+  d.submit_ok(IoKind::kRead, 0, 0.0);
   EXPECT_FALSE(d.tracing());
   EXPECT_TRUE(d.trace().empty());
 }
@@ -130,9 +138,9 @@ TEST(SimDisk, TraceDisabledByDefault) {
 TEST(SimDisk, TraceRecordsOpsInOrder) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
   d.enable_trace();
-  d.submit(IoKind::kRead, 3, 0.0);
-  d.submit(IoKind::kRead, 4, 0.0);
-  d.submit(IoKind::kWrite, 0, 0.0);
+  d.submit_ok(IoKind::kRead, 3, 0.0);
+  d.submit_ok(IoKind::kRead, 4, 0.0);
+  d.submit_ok(IoKind::kWrite, 0, 0.0);
   ASSERT_EQ(d.trace().size(), 3u);
   const auto& t = d.trace();
   EXPECT_EQ(t[0].slot, 3);
@@ -150,18 +158,147 @@ TEST(SimDisk, TraceRecordsOpsInOrder) {
 TEST(SimDisk, ClearTraceKeepsRecording) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
   d.enable_trace();
-  d.submit(IoKind::kRead, 0, 0.0);
+  d.submit_ok(IoKind::kRead, 0, 0.0);
   d.clear_trace();
   EXPECT_TRUE(d.trace().empty());
-  d.submit(IoKind::kRead, 5, 0.0);
+  d.submit_ok(IoKind::kRead, 5, 0.0);
   EXPECT_EQ(d.trace().size(), 1u);
 }
 
 TEST(SimDisk, BusyTimeAccumulates) {
   SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
-  d.submit(IoKind::kRead, 0, 0.0);
-  d.submit(IoKind::kRead, 1, 0.0);
+  d.submit_ok(IoKind::kRead, 0, 0.0);
+  d.submit_ok(IoKind::kRead, 1, 0.0);
   EXPECT_NEAR(d.counters().busy_s, 1.010 + 1.0, 1e-9);
+}
+
+// --- fault injection -----------------------------------------------------
+
+TEST(SimDiskFaults, SubmitToFailedDiskReturnsStatusNotAbort) {
+  SimDisk d(0, flat_spec(), 4, 16, 1000);
+  d.fail();
+  const IoResult res = d.submit(IoKind::kRead, 0, 0.0);
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kIoError);
+}
+
+TEST(SimDiskFaults, OutOfRangeSlotReturnsStatusNotAbort) {
+  SimDisk d(0, flat_spec(), 4, 16, 1000);
+  const IoResult low = d.submit(IoKind::kRead, -1, 0.0);
+  ASSERT_FALSE(low.is_ok());
+  EXPECT_EQ(low.status().code(), ErrorCode::kOutOfRange);
+  const IoResult high = d.submit(IoKind::kRead, 4, 0.0);
+  ASSERT_FALSE(high.is_ok());
+  EXPECT_EQ(high.status().code(), ErrorCode::kOutOfRange);
+  // Rejected ops never touch the timeline or counters.
+  EXPECT_DOUBLE_EQ(d.busy_until(), 0.0);
+  EXPECT_EQ(d.counters().reads, 0u);
+}
+
+TEST(SimDiskFaults, InertProfileChangesNothing) {
+  SimDisk plain(0, flat_spec(), 10, 16, 1'000'000);
+  SimDisk faulted(0, flat_spec(), 10, 16, 1'000'000);
+  faulted.set_fault_profile(FaultProfile{});  // inert
+  EXPECT_EQ(faulted.latent_slot_count(), 0);
+  for (int i = 0; i < 6; ++i) {
+    const double a = plain.submit_ok(IoKind::kRead, i, 0.0);
+    const double b = faulted.submit_ok(IoKind::kRead, i, 0.0);
+    EXPECT_EQ(a, b);  // bit-identical timing
+  }
+}
+
+TEST(SimDiskFaults, LatentSlotsAreDeterministicAndUnreadable) {
+  FaultProfile p;
+  p.latent_error_rate = 0.3;
+  p.seed = 17;
+  SimDisk d(3, flat_spec(), 100, 16, 1000);
+  d.set_fault_profile(p);
+  SimDisk d2(3, flat_spec(), 100, 16, 1000);
+  d2.set_fault_profile(p);
+  ASSERT_GT(d.latent_slot_count(), 0);
+  EXPECT_EQ(d.latent_slot_count(), d2.latent_slot_count());
+  for (std::int64_t s = 0; s < 100; ++s)
+    EXPECT_EQ(d.slot_unreadable(s), d2.slot_unreadable(s));
+
+  std::int64_t latent = -1;
+  for (std::int64_t s = 0; s < 100; ++s)
+    if (d.slot_unreadable(s)) { latent = s; break; }
+  ASSERT_GE(latent, 0);
+  const IoResult res = d.submit(IoKind::kRead, latent, 0.0);
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kUnreadableSector);
+  // The failed attempt still occupied the disk.
+  EXPECT_GT(d.busy_until(), 0.0);
+  EXPECT_EQ(d.counters().unreadable_errors, 1u);
+  // A successful write remaps the sector; the slot reads fine after.
+  d.submit_ok(IoKind::kWrite, latent, 0.0);
+  EXPECT_FALSE(d.slot_unreadable(latent));
+  EXPECT_TRUE(d.submit(IoKind::kRead, latent, 0.0).is_ok());
+}
+
+TEST(SimDiskFaults, TransientErrorsRetrySucceedEventually) {
+  FaultProfile p;
+  p.transient_read_error_p = 0.5;
+  p.seed = 5;
+  SimDisk d(0, flat_spec(), 10, 16, 1000);
+  d.set_fault_profile(p);
+  int errors = 0;
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const IoResult res = d.submit(IoKind::kRead, i % 10, 0.0);
+    if (res.is_ok()) {
+      ++successes;
+    } else {
+      ++errors;
+      EXPECT_EQ(res.status().code(), ErrorCode::kIoError);
+    }
+  }
+  EXPECT_GT(errors, 0);
+  EXPECT_GT(successes, 0);
+  EXPECT_EQ(d.counters().transient_errors, static_cast<std::uint64_t>(errors));
+}
+
+TEST(SimDiskFaults, SlowFactorStretchesService) {
+  FaultProfile p;
+  p.slow_factor = 2.0;
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.set_fault_profile(p);
+  const double done = d.submit_ok(IoKind::kRead, 0, 0.0);
+  EXPECT_NEAR(done, 2 * 1.010, 1e-9);
+  EXPECT_NEAR(d.peek_service_s(IoKind::kRead, 5), 2 * 1.010, 1e-9);
+}
+
+TEST(SimDiskFaults, ScheduledFailStopKillsOnFirstAccessAtOrAfter) {
+  FaultProfile p;
+  p.fail_at_s = 1.5;
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.set_fault_profile(p);
+  // Starts at t=0 < 1.5: served normally (completes past the deadline).
+  EXPECT_TRUE(d.submit(IoKind::kRead, 0, 0.0).is_ok());
+  // Next op starts at busy_until() = 1.010 < 1.5: still served.
+  EXPECT_TRUE(d.submit(IoKind::kRead, 1, 0.0).is_ok());
+  // Now busy_until() = 2.010 >= 1.5: the fail-stop manifests.
+  const IoResult res = d.submit(IoKind::kRead, 2, 0.0);
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kIoError);
+  EXPECT_TRUE(d.failed());
+}
+
+TEST(SimDiskFaults, HealDiscardsLatentSetAndConsumedFailStop) {
+  FaultProfile p;
+  p.latent_error_rate = 0.5;
+  p.fail_at_s = 100.0;
+  p.seed = 9;
+  SimDisk d(0, flat_spec(), 20, 8, 1000);
+  d.set_fault_profile(p);
+  ASSERT_GT(d.latent_slot_count(), 0);
+  d.fail();
+  const std::vector<std::uint8_t> bytes(8, 0xAA);
+  for (std::int64_t s = 0; s < 20; ++s) d.restore_content(s, bytes);
+  d.heal();
+  // Replacement hardware: no latent sectors, no pending fail-stop.
+  EXPECT_EQ(d.latent_slot_count(), 0);
+  EXPECT_TRUE(d.submit(IoKind::kRead, 0, 200.0).is_ok());
 }
 
 }  // namespace

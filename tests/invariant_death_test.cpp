@@ -3,6 +3,9 @@
 // every configuration (see the top-level CMakeLists).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "array/disk_array.hpp"
 #include "disk/sim_disk.hpp"
 #include "ec/buffer.hpp"
@@ -13,16 +16,27 @@ namespace {
 
 #ifndef NDEBUG
 
-TEST(InvariantDeath, IoToFailedDiskAborts) {
+// I/O to a failed disk and out-of-range slots are *not* invariant
+// violations anymore: submit() reports them through IoResult so fault
+// injection works in release builds too (see disk_sim_disk_test.cpp).
+
+TEST(InvariantDeath, OutOfRangeContentAborts) {
   disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 4, 16, 1000);
-  d.fail();
-  EXPECT_DEATH(d.submit(disk::IoKind::kRead, 0, 0.0), "failed disk");
+  EXPECT_DEATH(d.content(-1), "slot");
 }
 
-TEST(InvariantDeath, OutOfRangeSlotAborts) {
-  disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 4, 16, 1000);
-  EXPECT_DEATH(d.submit(disk::IoKind::kRead, 4, 0.0), "slot");
-  EXPECT_DEATH(d.content(-1), "slot");
+TEST(InvariantDeath, HealWithoutFullRestorationAborts) {
+  disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 2, 16, 1000);
+  d.fail();
+  const std::vector<std::uint8_t> bytes(16, 0x5A);
+  d.restore_content(0, bytes);  // slot 1 never restored
+  EXPECT_DEATH(d.heal(), "restoration");
+}
+
+TEST(InvariantDeath, RestoreContentOnHealthyDiskAborts) {
+  disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 2, 16, 1000);
+  const std::vector<std::uint8_t> bytes(16, 0x5A);
+  EXPECT_DEATH(d.restore_content(0, bytes), "failed disk");
 }
 
 TEST(InvariantDeath, ColumnSetOutOfRangeAborts) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "recon/executor.hpp"
+
 namespace sma::recon {
 namespace {
 
@@ -248,6 +250,81 @@ TEST(Online, ShiftedKeepsUserLatencyLowerUnderRebuildPressure) {
   const auto trad = run(false);
   const auto shift = run(true);
   EXPECT_LT(shift.p99_latency_s, trad.p99_latency_s);
+}
+
+TEST(Online, SecondFailureThenOfflineRebuildVerifies) {
+  // The replanned double-failure rebuild must leave the array in a
+  // state the byte-level rebuild can complete and verify.
+  array::DiskArray arr(
+      cfg_for(layout::Architecture::mirror_with_parity(4, true)));
+  arr.initialize();
+  arr.fail_physical(0);
+  OnlineConfig cfg;
+  cfg.max_user_reads = 200;
+  cfg.user_read_rate_hz = 40;
+  cfg.second_failure_at_s = 1.0;
+  cfg.second_failure_disk = 5;
+  cfg.seed = 21;
+  auto online = run_online_reconstruction(arr, cfg);
+  ASSERT_TRUE(online.is_ok()) << online.status().to_string();
+  ASSERT_TRUE(online.value().second_failure_injected);
+  ASSERT_EQ(arr.failed_physical().size(), 2u);
+  auto rebuild = reconstruct(arr);
+  ASSERT_TRUE(rebuild.is_ok()) << rebuild.status().to_string();
+  EXPECT_EQ(rebuild.value().unrecoverable_elements, 0u);
+  EXPECT_TRUE(arr.verify_all().is_ok());
+}
+
+TEST(Online, ScheduledFailStopAbsorbedLikeSecondFailure) {
+  auto acfg = cfg_for(layout::Architecture::mirror_with_parity(4, true));
+  acfg.fault_overrides[5].fail_at_s = 1.0;  // dies when next addressed
+  array::DiskArray arr(acfg);
+  arr.initialize();
+  arr.fail_physical(0);
+  OnlineConfig cfg;
+  cfg.max_user_reads = 300;
+  cfg.user_read_rate_hz = 40;
+  cfg.seed = 33;
+  auto report = run_online_reconstruction(arr, cfg);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().fail_stops_absorbed, 1);
+  EXPECT_TRUE(arr.physical(5).failed());
+  EXPECT_GT(report.value().rebuild_done_s, 1.0);  // rebuild continued
+  // The fail-stopped disk is a real second failure: the offline rebuild
+  // recovers both disks through the parity architecture.
+  auto rebuild = reconstruct(arr);
+  ASSERT_TRUE(rebuild.is_ok()) << rebuild.status().to_string();
+  EXPECT_TRUE(arr.verify_all().is_ok());
+}
+
+TEST(Online, ScheduledFailStopBeyondToleranceIsUnrecoverable) {
+  auto acfg = cfg_for(layout::Architecture::mirror(3, true));  // tolerance 1
+  acfg.fault_overrides[3].fail_at_s = 0.5;
+  array::DiskArray arr(acfg);
+  arr.initialize();
+  arr.fail_physical(0);
+  OnlineConfig cfg;
+  cfg.max_user_reads = 200;
+  cfg.user_read_rate_hz = 40;
+  auto report = run_online_reconstruction(arr, cfg);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kUnrecoverable);
+}
+
+TEST(Online, TransientErrorsRetriedInPlace) {
+  auto acfg = cfg_for(layout::Architecture::mirror(3, true));
+  acfg.fault.transient_read_error_p = 0.05;
+  acfg.fault.seed = 9;
+  array::DiskArray arr(acfg);
+  arr.initialize();
+  arr.fail_physical(0);
+  OnlineConfig cfg;
+  cfg.max_user_reads = 200;
+  cfg.user_read_rate_hz = 40;
+  auto report = run_online_reconstruction(arr, cfg);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_GT(report.value().io_retries, 0u);
+  EXPECT_EQ(report.value().user_reads + report.value().user_writes, 200u);
 }
 
 }  // namespace
