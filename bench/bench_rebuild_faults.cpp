@@ -8,50 +8,24 @@
 // falls back to the parity-XOR path, how much the read phase slows,
 // and whether any element loses every redundancy path. Deterministic
 // for a fixed fault seed; rate 0 reproduces the fault-free rebuild
-// bit for bit.
+// bit for bit. The 8 (rate, arrangement) cases run in parallel via
+// recon::rebuild_faults_sweep with per-case seeding, so the CSV is
+// bit-identical to a serial run.
 #include <cstdio>
 
 #include "common.hpp"
-#include "recon/executor.hpp"
+#include "recon/sweeps.hpp"
 
 int main() {
   using namespace sma;
 
-  const int n = 5;
-  const double rates[] = {0.0, 0.002, 0.01, 0.05};
-
-  Table table("Rebuild under latent sector errors — mirror+parity, n=5, "
-              "disk 0 failed");
-  table.set_header({"latent rate", "arrangement", "read MB/s",
-                    "latent hits", "parity fallbacks", "mirror fallbacks",
-                    "unrecoverable"});
-
-  for (const double rate : rates) {
-    for (const bool shifted : {false, true}) {
-      const auto arch = layout::Architecture::mirror_with_parity(n, shifted);
-      auto cfg = bench::experiment_config(arch, /*stacks=*/2);
-      cfg.fault.latent_error_rate = rate;
-      cfg.fault.seed = 20120901;
-      array::DiskArray arr(cfg);
-      arr.initialize();
-      arr.fail_physical(0);
-      auto report = recon::reconstruct(arr);
-      if (!report.is_ok()) {
-        std::fprintf(stderr, "rebuild failed: %s\n",
-                     report.status().to_string().c_str());
-        return 1;
-      }
-      const auto& r = report.value();
-      table.add_row({Table::num(rate, 3),
-                     shifted ? "shifted" : "traditional",
-                     Table::num(r.read_throughput_mbps(), 1),
-                     Table::num(static_cast<double>(r.latent_sectors_hit), 0),
-                     Table::num(static_cast<double>(r.fallback_to_parity), 0),
-                     Table::num(static_cast<double>(r.fallback_to_mirror), 0),
-                     Table::num(static_cast<double>(r.unrecoverable_elements),
-                                0)});
-    }
+  auto table = recon::rebuild_faults_sweep({0.0, 0.002, 0.01, 0.05},
+                                           /*n=*/5, /*stacks=*/2, {});
+  if (!table.is_ok()) {
+    std::fprintf(stderr, "rebuild failed: %s\n",
+                 table.status().to_string().c_str());
+    return 1;
   }
-  bench::emit(table, "sma_rebuild_faults.csv");
+  bench::emit(table.value(), "sma_rebuild_faults.csv");
   return 0;
 }

@@ -7,67 +7,24 @@
 // the measured (sub-n) speedup the two roughly cancel for the plain
 // mirror; with the parity disk the shifted variant's shorter double-
 // degraded window wins outright.
-#include <cmath>
+//
+// The sweep itself lives in recon::reliability_sweep and fans the
+// 12 (n, architecture) cases across hardware threads; the emitted
+// table is bit-identical to a serial run.
+#include <cstdio>
 
 #include "common.hpp"
-#include "recon/executor.hpp"
-#include "recon/reliability.hpp"
-#include "util/units.hpp"
-
-namespace {
-
-using namespace sma;
-
-/// Measured MTTR: rebuild one failed disk carrying `data_gb` of data.
-double measured_mttr_hours(const layout::Architecture& arch, double data_gb) {
-  array::DiskArray arr(bench::experiment_config(arch));
-  arr.initialize();
-  arr.fail_physical(0);
-  auto report = recon::reconstruct(arr);
-  if (!report.is_ok()) return 0;
-  // Scale the per-byte rebuild time to the target capacity (rebuild
-  // time is linear in data volume).
-  const double per_byte =
-      report.value().total_makespan_s /
-      static_cast<double>(report.value().logical_bytes_recovered);
-  return per_byte * data_gb * 1e9 / 3600.0;
-}
-
-}  // namespace
+#include "recon/sweeps.hpp"
 
 int main() {
   using namespace sma;
   const double kDataGb = 17.0;  // the paper's per-disk data volume
 
-  Table table("MTTDL with measured rebuild times (17 GB/disk, MTTF 1e6 h)");
-  table.set_header({"architecture", "n", "fatal 2nd", "fatal 3rd",
-                    "MTTR (h)", "MTTDL (years)"});
-
-  for (int n = 3; n <= 7; n += 2) {
-    const layout::Architecture archs[] = {
-        layout::Architecture::mirror(n, false),
-        layout::Architecture::mirror(n, true),
-        layout::Architecture::mirror_with_parity(n, false),
-        layout::Architecture::mirror_with_parity(n, true),
-    };
-    for (const auto& arch : archs) {
-      recon::MttdlParams params;
-      params.mttr_hours = measured_mttr_hours(arch, kDataGb);
-      if (params.mttr_hours <= 0) {
-        std::fprintf(stderr, "MTTR measurement failed for %s\n",
-                     arch.name().c_str());
-        return 1;
-      }
-      const auto report = recon::estimate_mttdl(arch, params);
-      table.add_row({arch.name(), Table::num(n),
-                     Table::num(report.fatal.avg_fatal_second, 2),
-                     Table::num(report.fatal.avg_fatal_third, 2),
-                     Table::num(params.mttr_hours, 4),
-                     std::isfinite(report.mttdl_hours)
-                         ? Table::num(report.mttdl_years(), 0)
-                         : "inf"});
-    }
+  auto table = recon::reliability_sweep({3, 5, 7}, kDataGb, {});
+  if (!table.is_ok()) {
+    std::fprintf(stderr, "%s\n", table.status().to_string().c_str());
+    return 1;
   }
-  bench::emit(table, "sma_reliability.csv");
+  bench::emit(table.value(), "sma_reliability.csv");
   return 0;
 }

@@ -3,55 +3,24 @@
 // parity-arbitrated mirror methods repair everything up to one bad
 // copy per row, (b) the parity-less mirror can only detect, and (c)
 // the full-scan scrub cost is flat across arrangements (every disk
-// streams its whole column either way).
+// streams its whole column either way). The 9 (architecture, errors)
+// cases run in parallel via recon::scrub_sweep, each seeding its RNG
+// from its own error count, so the CSV is bit-identical to a serial
+// run.
 #include <cstdio>
 
 #include "common.hpp"
-#include "recon/scrub.hpp"
+#include "recon/sweeps.hpp"
 
 int main() {
   using namespace sma;
 
-  Table table("Scrub — latent error injection and repair (n=5, one stack)");
-  table.set_header({"architecture", "injected", "mismatches", "repaired",
-                    "undecidable", "scan time (s)", "scan MB/s"});
-
-  struct Case {
-    layout::Architecture arch;
-    const char* label;
-  };
-  const Case cases[] = {
-      {layout::Architecture::mirror(5, true), "mirror-shifted"},
-      {layout::Architecture::mirror_with_parity(5, false),
-       "mirror-parity-traditional"},
-      {layout::Architecture::mirror_with_parity(5, true),
-       "mirror-parity-shifted"},
-  };
-
-  for (const auto& c : cases) {
-    for (const int errors : {0, 5, 25}) {
-      array::DiskArray arr(bench::experiment_config(c.arch));
-      arr.initialize();
-      Rng rng(static_cast<std::uint64_t>(errors) + 99);
-      recon::inject_latent_errors(arr, rng, errors);
-      auto report = recon::scrub(arr);
-      if (!report.is_ok()) {
-        std::fprintf(stderr, "scrub failed: %s\n",
-                     report.status().to_string().c_str());
-        return 1;
-      }
-      const auto& r = report.value();
-      table.add_row(
-          {c.label, Table::num(errors),
-           Table::num(r.mismatches),
-           Table::num(r.repaired_data + r.repaired_mirror +
-                      r.repaired_parity),
-           Table::num(r.undecidable), Table::num(r.makespan_s, 2),
-           Table::num(static_cast<double>(r.logical_bytes_read) / 1e6 /
-                          r.makespan_s,
-                      1)});
-    }
+  auto table = recon::scrub_sweep(/*n=*/5, {0, 5, 25}, {});
+  if (!table.is_ok()) {
+    std::fprintf(stderr, "scrub failed: %s\n",
+                 table.status().to_string().c_str());
+    return 1;
   }
-  bench::emit(table, "sma_scrub.csv");
+  bench::emit(table.value(), "sma_scrub.csv");
   return 0;
 }

@@ -3,41 +3,22 @@
 // C(2n+1, 2) double-disk failures, plus the closed-form average
 // Avg = 4n / (2n + 1). The paper states the table symbolically; we
 // print it for n = 3..7 (the experimental range) and check uniformity
-// of every class.
+// of every class. Each n enumerates on its own thread via
+// recon::table1_sweep; output is bit-identical to a serial run.
 #include <cstdio>
 
 #include "common.hpp"
-#include "recon/analytic.hpp"
+#include "recon/sweeps.hpp"
 
 int main() {
   using namespace sma;
 
-  Table table("Table I — shifted mirror method with parity");
-  table.set_header({"n", "failure situation", "num cases", "read accesses"});
-  Table avg("Average read accesses (enumerated vs closed form 4n/(2n+1))");
-  avg.set_header({"n", "enumerated", "closed form", "traditional (=n)",
-                  "improvement factor (2n+1)/4"});
-
-  for (int n = 3; n <= 7; ++n) {
-    const auto arch = layout::Architecture::mirror_with_parity(n, true);
-    const auto cases = recon::enumerate_double_failure_cases(arch);
-    if (!cases.uniform)
-      std::printf("WARNING: non-uniform class at n=%d\n", n);
-    for (const auto& row : cases.rows)
-      table.add_row({Table::num(n), std::string(recon::to_string(row.cls)),
-                     Table::num(static_cast<std::uint64_t>(row.num_cases)),
-                     Table::num(row.num_read_accesses)});
-    const auto trad = recon::enumerate_double_failure_cases(
-        layout::Architecture::mirror_with_parity(n, false));
-    avg.add_row({Table::num(n), Table::num(cases.average_read_accesses, 4),
-                 Table::num(recon::paper_avg_read_shifted_mirror_parity(n), 4),
-                 Table::num(trad.average_read_accesses, 1),
-                 Table::num(trad.average_read_accesses /
-                                cases.average_read_accesses,
-                            3)});
+  auto result = recon::table1_sweep(3, 7, {});
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
   }
-
-  bench::emit(table, "sma_table1.csv");
-  bench::emit(avg, "sma_table1_avg.csv");
+  bench::emit(result.value().table, "sma_table1.csv");
+  bench::emit(result.value().avg, "sma_table1_avg.csv");
   return 0;
 }

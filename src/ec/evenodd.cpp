@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
+#include <vector>
 
 #include "ec/prime.hpp"
 #include "ec/solver.hpp"
@@ -28,19 +30,24 @@ std::string EvenOddCodec::name() const {
 void EvenOddCodec::diagonal_known(const ColumnSet& stripe, int l, int skip_a,
                                   int skip_b,
                                   std::span<std::uint8_t> out) const {
-  gf::region_zero(out);
+  std::vector<std::span<const std::uint8_t>> srcs;
+  srcs.reserve(static_cast<std::size_t>(k_));
   for (int j = 0; j < k_; ++j) {
     if (j == skip_a || j == skip_b) continue;
     const int i = mod(l - j, p_);
     if (i > p_ - 2) continue;  // imaginary row contributes zero
-    gf::region_xor(stripe.element(j, i), out);
+    srcs.push_back(stripe.element(j, i));
   }
+  gf::region_zero(out);
+  gf::region_multi_xor(srcs, out);
 }
 
 void EvenOddCodec::encode_p(ColumnSet& stripe) const {
-  stripe.zero_column(p_col());
+  std::vector<std::span<const std::uint8_t>> srcs(static_cast<std::size_t>(k_));
   for (int j = 0; j < k_; ++j)
-    gf::region_xor(stripe.column(j), stripe.column(p_col()));
+    srcs[static_cast<std::size_t>(j)] = stripe.column(j);
+  stripe.zero_column(p_col());
+  gf::region_multi_xor(srcs, stripe.column(p_col()));
 }
 
 void EvenOddCodec::encode_q(ColumnSet& stripe) const {
@@ -64,12 +71,13 @@ Status EvenOddCodec::encode(ColumnSet& stripe) const {
 }
 
 Status EvenOddCodec::recover_data_by_rows(ColumnSet& stripe, int r) const {
+  std::vector<std::span<const std::uint8_t>> srcs;
+  srcs.reserve(static_cast<std::size_t>(k_));
+  for (int j = 0; j < k_; ++j)
+    if (j != r) srcs.push_back(stripe.column(j));
+  srcs.push_back(stripe.column(p_col()));
   stripe.zero_column(r);
-  for (int j = 0; j < k_; ++j) {
-    if (j == r) continue;
-    gf::region_xor(stripe.column(j), stripe.column(r));
-  }
-  gf::region_xor(stripe.column(p_col()), stripe.column(r));
+  gf::region_multi_xor(srcs, stripe.column(r));
   return Status::ok();
 }
 
@@ -115,9 +123,14 @@ Status EvenOddCodec::decode_two_data(ColumnSet& stripe, int r, int s) const {
   // all Q_l); this identity holds because p-1 is even.
   const std::size_t eb = stripe.element_bytes();
   std::vector<std::uint8_t> s_buf(eb, 0);
-  for (int i = 0; i <= p_ - 2; ++i) {
-    gf::region_xor(stripe.element(p_col(), i), s_buf);
-    gf::region_xor(stripe.element(q_col(), i), s_buf);
+  {
+    std::vector<std::span<const std::uint8_t>> srcs;
+    srcs.reserve(2 * (static_cast<std::size_t>(p_) - 1));
+    for (int i = 0; i <= p_ - 2; ++i) {
+      srcs.push_back(stripe.element(p_col(), i));
+      srcs.push_back(stripe.element(q_col(), i));
+    }
+    gf::region_multi_xor(srcs, s_buf);
   }
 
   PeelingSolver solver(eb);
@@ -127,14 +140,17 @@ Status EvenOddCodec::decode_two_data(ColumnSet& stripe, int r, int s) const {
   for (auto& id : v) id = solver.add_unknown();
 
   std::vector<std::uint8_t> rhs(eb);
+  std::vector<std::span<const std::uint8_t>> srcs;
   // Row relations: u_i ^ v_i = P_i ^ (known data cells of row i).
   for (int i = 0; i <= p_ - 2; ++i) {
-    gf::region_zero(rhs);
+    srcs.clear();
     for (int j = 0; j < k_; ++j) {
       if (j == r || j == s) continue;
-      gf::region_xor(stripe.element(j, i), rhs);
+      srcs.push_back(stripe.element(j, i));
     }
-    gf::region_xor(stripe.element(p_col(), i), rhs);
+    srcs.push_back(stripe.element(p_col(), i));
+    gf::region_zero(rhs);
+    gf::region_multi_xor(srcs, rhs);
     solver.add_relation({u[static_cast<std::size_t>(i)],
                          v[static_cast<std::size_t>(i)]},
                         rhs);

@@ -1,6 +1,8 @@
 #include "ec/raid5.hpp"
 
 #include <cassert>
+#include <span>
+#include <vector>
 
 #include "gf/region.hpp"
 
@@ -19,9 +21,14 @@ std::string Raid5Codec::name() const {
 Status Raid5Codec::encode(ColumnSet& stripe) const {
   SMA_RETURN_IF_ERROR(check_stripe(stripe));
   const int parity = data_columns_;
-  stripe.zero_column(parity);
+  // Fused: the parity buffer is written once, with all data columns
+  // accumulated per block, instead of being re-traversed per column.
+  std::vector<std::span<const std::uint8_t>> srcs(
+      static_cast<std::size_t>(data_columns_));
   for (int c = 0; c < data_columns_; ++c)
-    gf::region_xor(stripe.column(c), stripe.column(parity));
+    srcs[static_cast<std::size_t>(c)] = stripe.column(c);
+  stripe.zero_column(parity);
+  gf::region_multi_xor(srcs, stripe.column(parity));
   return Status::ok();
 }
 
@@ -33,11 +40,12 @@ Status Raid5Codec::decode(ColumnSet& stripe,
   const int lost = erased[0];
   // Whether the loss is a data column or the parity column, the missing
   // column is the XOR of all the others.
+  std::vector<std::span<const std::uint8_t>> srcs;
+  srcs.reserve(static_cast<std::size_t>(total_columns()) - 1);
+  for (int c = 0; c < total_columns(); ++c)
+    if (c != lost) srcs.push_back(stripe.column(c));
   stripe.zero_column(lost);
-  for (int c = 0; c < total_columns(); ++c) {
-    if (c == lost) continue;
-    gf::region_xor(stripe.column(c), stripe.column(lost));
-  }
+  gf::region_multi_xor(srcs, stripe.column(lost));
   return Status::ok();
 }
 

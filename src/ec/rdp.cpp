@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
+#include <vector>
 
 #include "ec/prime.hpp"
 #include "ec/solver.hpp"
@@ -34,23 +36,29 @@ std::span<const std::uint8_t> RdpCodec::uniform_element(
 }
 
 void RdpCodec::encode_p(ColumnSet& stripe) const {
-  stripe.zero_column(p_col());
+  std::vector<std::span<const std::uint8_t>> srcs(static_cast<std::size_t>(k_));
   for (int j = 0; j < k_; ++j)
-    gf::region_xor(stripe.column(j), stripe.column(p_col()));
+    srcs[static_cast<std::size_t>(j)] = stripe.column(j);
+  stripe.zero_column(p_col());
+  gf::region_multi_xor(srcs, stripe.column(p_col()));
 }
 
 void RdpCodec::encode_q(ColumnSet& stripe) const {
   // Q_l = XOR of the cells on diagonal l over uniform columns 0..p-1
-  // (data plus P), real rows only; diagonal p-1 is not stored.
+  // (data plus P), real rows only; diagonal p-1 is not stored. Gather
+  // the diagonal's cells and accumulate them in one fused pass.
+  std::vector<std::span<const std::uint8_t>> srcs;
   for (int l = 0; l <= p_ - 2; ++l) {
-    auto q = stripe.element(q_col(), l);
-    gf::region_zero(q);
+    srcs.clear();
     for (int u = 0; u <= p_ - 1; ++u) {
       const int i = mod(l - u, p_);
       if (i > p_ - 2) continue;
       auto cell = uniform_element(stripe, u, i);
-      if (!cell.empty()) gf::region_xor(cell, q);
+      if (!cell.empty()) srcs.push_back(cell);
     }
+    auto q = stripe.element(q_col(), l);
+    gf::region_zero(q);
+    gf::region_multi_xor(srcs, q);
   }
 }
 
@@ -62,12 +70,13 @@ Status RdpCodec::encode(ColumnSet& stripe) const {
 }
 
 Status RdpCodec::recover_data_by_rows(ColumnSet& stripe, int r) const {
+  std::vector<std::span<const std::uint8_t>> srcs;
+  srcs.reserve(static_cast<std::size_t>(k_));
+  for (int j = 0; j < k_; ++j)
+    if (j != r) srcs.push_back(stripe.column(j));
+  srcs.push_back(stripe.column(p_col()));
   stripe.zero_column(r);
-  for (int j = 0; j < k_; ++j) {
-    if (j == r) continue;
-    gf::region_xor(stripe.column(j), stripe.column(r));
-  }
-  gf::region_xor(stripe.column(p_col()), stripe.column(r));
+  gf::region_multi_xor(srcs, stripe.column(r));
   return Status::ok();
 }
 
@@ -90,27 +99,32 @@ Status RdpCodec::decode_uniform_pair(ColumnSet& stripe, int ur, int us) const {
   for (auto& id : v) id = solver.add_unknown();
 
   std::vector<std::uint8_t> rhs(eb);
+  std::vector<std::span<const std::uint8_t>> srcs;
   for (int i = 0; i <= p_ - 2; ++i) {
-    gf::region_zero(rhs);
+    srcs.clear();
     for (int w = 0; w <= p_ - 1; ++w) {
       if (w == ur || w == us) continue;
       auto cell = uniform_element(stripe, w, i);
-      if (!cell.empty()) gf::region_xor(cell, rhs);
+      if (!cell.empty()) srcs.push_back(cell);
     }
+    gf::region_zero(rhs);
+    gf::region_multi_xor(srcs, rhs);
     solver.add_relation({u[static_cast<std::size_t>(i)],
                          v[static_cast<std::size_t>(i)]},
                         rhs);
   }
   for (int l = 0; l <= p_ - 2; ++l) {
-    gf::region_zero(rhs);
+    srcs.clear();
     for (int w = 0; w <= p_ - 1; ++w) {
       if (w == ur || w == us) continue;
       const int i = mod(l - w, p_);
       if (i > p_ - 2) continue;
       auto cell = uniform_element(stripe, w, i);
-      if (!cell.empty()) gf::region_xor(cell, rhs);
+      if (!cell.empty()) srcs.push_back(cell);
     }
-    gf::region_xor(stripe.element(q_col(), l), rhs);
+    srcs.push_back(stripe.element(q_col(), l));
+    gf::region_zero(rhs);
+    gf::region_multi_xor(srcs, rhs);
     std::vector<int> ids;
     const int iu = mod(l - ur, p_);
     const int iv = mod(l - us, p_);

@@ -25,11 +25,16 @@ std::string CauchyRsCodec::name() const {
 
 Status CauchyRsCodec::encode(ColumnSet& stripe) const {
   SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  // One fused dot product per parity column: each parity buffer is
+  // traversed once, not once per data column.
+  std::vector<std::span<const std::uint8_t>> data(static_cast<std::size_t>(k_));
+  for (int j = 0; j < k_; ++j)
+    data[static_cast<std::size_t>(j)] = stripe.column(j);
+  std::vector<std::uint8_t> coeffs(static_cast<std::size_t>(k_));
   for (int i = 0; i < m_; ++i) {
-    auto parity = stripe.column(k_ + i);
-    gf::region_zero(parity);
     for (int j = 0; j < k_; ++j)
-      gf::region_mul_xor(cauchy_.at(i, j), stripe.column(j), parity);
+      coeffs[static_cast<std::size_t>(j)] = cauchy_.at(i, j);
+    gf::encode_dot(coeffs, data, stripe.column(k_ + i));
   }
   return Status::ok();
 }
@@ -72,14 +77,18 @@ Status CauchyRsCodec::decode(ColumnSet& stripe,
     // because survivors may include data columns we are reading from.
     const std::size_t col_bytes = stripe.column_bytes();
     std::vector<std::uint8_t> scratch(static_cast<std::size_t>(k_) * col_bytes);
+    std::vector<std::span<const std::uint8_t>> surv_cols(
+        static_cast<std::size_t>(k_));
+    for (int t = 0; t < k_; ++t)
+      surv_cols[static_cast<std::size_t>(t)] =
+          stripe.column(survivors[static_cast<std::size_t>(t)]);
+    std::vector<std::uint8_t> coeffs(static_cast<std::size_t>(k_));
     for (int j = 0; j < k_; ++j) {
       std::span<std::uint8_t> out(scratch.data() + static_cast<std::size_t>(j) * col_bytes,
                                   col_bytes);
-      gf::region_zero(out);
       for (int t = 0; t < k_; ++t)
-        gf::region_mul_xor(inv.at(j, t),
-                           stripe.column(survivors[static_cast<std::size_t>(t)]),
-                           out);
+        coeffs[static_cast<std::size_t>(t)] = inv.at(j, t);
+      gf::encode_dot(coeffs, surv_cols, out);
     }
     for (int j = 0; j < k_; ++j) {
       auto dst = stripe.column(j);
@@ -89,12 +98,15 @@ Status CauchyRsCodec::decode(ColumnSet& stripe,
   }
 
   // With all data present, recompute any lost parity columns.
+  std::vector<std::span<const std::uint8_t>> data(static_cast<std::size_t>(k_));
+  for (int j = 0; j < k_; ++j)
+    data[static_cast<std::size_t>(j)] = stripe.column(j);
+  std::vector<std::uint8_t> coeffs(static_cast<std::size_t>(k_));
   for (int i = 0; i < m_; ++i) {
     if (!lost[static_cast<std::size_t>(k_ + i)]) continue;
-    auto parity = stripe.column(k_ + i);
-    gf::region_zero(parity);
     for (int j = 0; j < k_; ++j)
-      gf::region_mul_xor(cauchy_.at(i, j), stripe.column(j), parity);
+      coeffs[static_cast<std::size_t>(j)] = cauchy_.at(i, j);
+    gf::encode_dot(coeffs, data, stripe.column(k_ + i));
   }
   return Status::ok();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
 #include "gf/region.hpp"
 
@@ -30,20 +31,23 @@ Status PeelingSolver::solve() {
   std::size_t unsolved =
       static_cast<std::size_t>(std::count(solved_.begin(), solved_.end(), false));
   bool progressed = true;
+  std::vector<std::span<const std::uint8_t>> folded;
   while (unsolved > 0 && progressed) {
     progressed = false;
     for (auto& rel : relations_) {
       // Drop ids that were solved since we last touched this relation,
-      // folding their values into the rhs.
+      // folding their values into the rhs in one fused accumulate.
+      folded.clear();
       auto keep = rel.unknowns.begin();
       for (const int id : rel.unknowns) {
         if (solved_[static_cast<std::size_t>(id)]) {
-          gf::region_xor(values_[static_cast<std::size_t>(id)], rel.rhs);
+          folded.push_back(values_[static_cast<std::size_t>(id)]);
         } else {
           *keep++ = id;
         }
       }
       rel.unknowns.erase(keep, rel.unknowns.end());
+      gf::region_multi_xor(folded, rel.rhs);
 
       if (rel.unknowns.size() == 1) {
         const int id = rel.unknowns[0];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
+#include <vector>
 
 #include "ec/prime.hpp"
 #include "ec/solver.hpp"
@@ -27,15 +29,21 @@ std::string XCodec::name() const {
 
 Status XCodec::encode(ColumnSet& stripe) const {
   SMA_RETURN_IF_ERROR(check_stripe(stripe));
+  std::vector<std::span<const std::uint8_t>> up_srcs;
+  std::vector<std::span<const std::uint8_t>> down_srcs;
   for (int i = 0; i < p_; ++i) {
+    up_srcs.clear();
+    down_srcs.clear();
+    for (int k = 0; k <= p_ - 3; ++k) {
+      up_srcs.push_back(stripe.element(mod(i + k + 2, p_), k));
+      down_srcs.push_back(stripe.element(mod(i - k - 2, p_), k));
+    }
     auto up = stripe.element(i, p_ - 2);    // slope +1 parity
     auto down = stripe.element(i, p_ - 1);  // slope -1 parity
     gf::region_zero(up);
     gf::region_zero(down);
-    for (int k = 0; k <= p_ - 3; ++k) {
-      gf::region_xor(stripe.element(mod(i + k + 2, p_), k), up);
-      gf::region_xor(stripe.element(mod(i - k - 2, p_), k), down);
-    }
+    gf::region_multi_xor(up_srcs, up);
+    gf::region_multi_xor(down_srcs, down);
   }
   return Status::ok();
 }
@@ -57,20 +65,23 @@ Status XCodec::decode_two_columns(ColumnSet& stripe, int a, int b) const {
   for (int u = 0; u < unknown_count; ++u) solver.add_unknown();
 
   std::vector<std::uint8_t> rhs(eb);
+  std::vector<std::span<const std::uint8_t>> known;
   for (int slope = 0; slope < 2; ++slope) {
     for (int i = 0; i < p_; ++i) {
-      gf::region_zero(rhs);
+      known.clear();
       std::vector<int> ids;
       auto visit = [&](int col, int row) {
         const int id = unknown_index(col, row);
         if (id >= 0)
           ids.push_back(id);
         else
-          gf::region_xor(stripe.element(col, row), rhs);
+          known.push_back(stripe.element(col, row));
       };
       for (int k = 0; k <= p_ - 3; ++k)
         visit(mod(slope == 0 ? i + k + 2 : i - k - 2, p_), k);
       visit(i, slope == 0 ? p_ - 2 : p_ - 1);
+      gf::region_zero(rhs);
+      gf::region_multi_xor(known, rhs);
       solver.add_relation(std::move(ids), rhs);
     }
   }

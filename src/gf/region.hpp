@@ -1,13 +1,43 @@
 // Bulk buffer operations over GF(2^8) — the "region" primitives that
 // erasure codecs are built from (Jerasure's galois_region_xor /
 // galois_w08_region_multiply equivalents).
+//
+// The implementation is a runtime-dispatched kernel layer: at first use
+// the best instruction set available on the host is selected (GFNI
+// affine, AVX2 or SSSE3 split-nibble pshufb kernels on x86-64, NEON
+// vtbl on arm64, a portable word-wise scalar fallback everywhere) and
+// all region calls
+// route through a function-pointer table. Setting the environment
+// variable SMA_GF_FORCE_SCALAR=1 before the first region call pins the
+// scalar kernels, which is how CI cross-checks the SIMD paths. Every
+// tier produces bit-identical results; dispatch changes speed, never
+// output.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
+#include <vector>
 
 namespace sma::gf {
+
+/// Kernel tiers in increasing preference order. Which tiers exist is
+/// decided at compile time (per-ISA translation units); which is used
+/// is decided once at runtime from cpuid/hwcaps.
+enum class KernelTier { kScalar, kSsse3, kAvx2, kGfni, kNeon };
+
+/// Human-readable tier name ("scalar", "ssse3", "avx2", "gfni", "neon").
+std::string_view to_string(KernelTier tier);
+
+/// The tier region calls dispatch to on this host (after honoring
+/// SMA_GF_FORCE_SCALAR). Selected once, at the first region call.
+KernelTier active_tier();
+
+/// Every tier that is both compiled in and executable on this host,
+/// scalar first. Tests and microbenchmarks sweep this list to compare
+/// tiers against each other on the same hardware.
+std::vector<KernelTier> available_tiers();
 
 /// dst[i] ^= src[i]. Word-vectorized; buffers may not alias partially
 /// (dst == src is allowed and zeroes dst).
@@ -21,10 +51,47 @@ void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
 void region_mul_xor(std::uint8_t c, std::span<const std::uint8_t> src,
                     std::span<std::uint8_t> dst);
 
+/// Fused multi-source accumulate: dst[i] ^= srcs[0][i] ^ ... ^
+/// srcs[last][i]. Each destination block is loaded and stored once no
+/// matter how many sources there are, instead of once per source as a
+/// region_xor loop would. Sources must all match dst's length and must
+/// not overlap dst.
+void region_multi_xor(std::span<const std::span<const std::uint8_t>> srcs,
+                      std::span<std::uint8_t> dst);
+
+/// Fused row-of-matrix encode: dst[i] = coeffs[0]*srcs[0][i] ^ ... ^
+/// coeffs[last]*srcs[last][i] (or ^= with accumulate=true). One pass
+/// over dst regardless of source count; zero coefficients are skipped.
+/// coeffs.size() must equal srcs.size(); sources must match dst's
+/// length and must not overlap dst.
+void encode_dot(std::span<const std::uint8_t> coeffs,
+                std::span<const std::span<const std::uint8_t>> srcs,
+                std::span<std::uint8_t> dst, bool accumulate = false);
+
 /// Zero a buffer.
 void region_zero(std::span<std::uint8_t> dst);
 
-/// true if every byte is zero.
+/// true if every byte is zero. Scans word-at-a-time with an early out.
 bool region_is_zero(std::span<const std::uint8_t> buf);
+
+// Tier-pinned variants: identical semantics, but run on an explicit
+// kernel tier instead of the dispatched one. The tier must come from
+// available_tiers(). Used by the equivalence fuzz tests and the
+// scalar-vs-SIMD microbenchmarks; codecs always use the dispatched
+// entry points above.
+void region_xor(KernelTier tier, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst);
+void region_mul(KernelTier tier, std::uint8_t c,
+                std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+void region_mul_xor(KernelTier tier, std::uint8_t c,
+                    std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst);
+void region_multi_xor(KernelTier tier,
+                      std::span<const std::span<const std::uint8_t>> srcs,
+                      std::span<std::uint8_t> dst);
+void encode_dot(KernelTier tier, std::span<const std::uint8_t> coeffs,
+                std::span<const std::span<const std::uint8_t>> srcs,
+                std::span<std::uint8_t> dst, bool accumulate = false);
+bool region_is_zero(KernelTier tier, std::span<const std::uint8_t> buf);
 
 }  // namespace sma::gf

@@ -1,0 +1,203 @@
+// AVX2 region kernels: the SSSE3 split-nibble technique widened to
+// 32-byte lanes. vpshufb shuffles within each 128-bit lane, so the two
+// 16-byte nibble tables are broadcast to both lanes and the lookup is
+// lane-local — exactly what we need. Compiled with -mavx2 in its own
+// translation unit; region.cpp gates on cpuid before dispatching here.
+#include "gf/region_kernels.hpp"
+
+#if defined(SMA_GF_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sma::gf::internal {
+namespace {
+
+inline __m256i broadcast16(const std::uint8_t* p) {
+  return _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline __m256i lookup32(__m256i lo_tab, __m256i hi_tab, __m256i mask,
+                        __m256i v) {
+  const __m256i lo = _mm256_and_si256(v, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(lo_tab, lo),
+                          _mm256_shuffle_epi8(hi_tab, hi));
+}
+
+inline std::uint8_t tail_lookup(const std::uint8_t* tab, std::uint8_t v) {
+  return static_cast<std::uint8_t>(tab[v & 0xF] ^ tab[16 + (v >> 4)]);
+}
+
+void avx2_mul(const std::uint8_t* tab, const std::uint8_t* src,
+              std::uint8_t* dst, std::size_t n) {
+  const __m256i lo_tab = broadcast16(tab);
+  const __m256i hi_tab = broadcast16(tab + 16);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        lookup32(lo_tab, hi_tab, mask, v0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        lookup32(lo_tab, hi_tab, mask, v1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        lookup32(lo_tab, hi_tab, mask, v));
+  }
+  for (; i < n; ++i) dst[i] = tail_lookup(tab, src[i]);
+}
+
+void avx2_mul_xor(const std::uint8_t* tab, const std::uint8_t* src,
+                  std::uint8_t* dst, std::size_t n) {
+  const __m256i lo_tab = broadcast16(tab);
+  const __m256i hi_tab = broadcast16(tab + 16);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  // 2x unroll: two independent lookup chains per iteration keep the
+  // shuffle port busy across the load latency.
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(d0, lookup32(lo_tab, hi_tab, mask, v0)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i + 32),
+        _mm256_xor_si256(d1, lookup32(lo_tab, hi_tab, mask, v1)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(d, lookup32(lo_tab, hi_tab, mask, v)));
+  }
+  for (; i < n; ++i) dst[i] ^= tail_lookup(tab, src[i]);
+}
+
+void avx2_xor(const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(a1, b1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void avx2_multi_xor(const std::uint8_t* const* srcs, std::size_t nsrc,
+                    std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    for (std::size_t j = 0; j < nsrc; ++j)
+      acc = _mm256_xor_si256(
+          acc,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[j] + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = dst[i];
+    for (std::size_t j = 0; j < nsrc; ++j) b ^= srcs[j][i];
+    dst[i] = b;
+  }
+}
+
+void avx2_dot(const std::uint8_t* tabs, const std::uint8_t* const* srcs,
+              std::size_t nsrc, std::uint8_t* dst, std::size_t n,
+              bool accumulate) {
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc =
+        accumulate
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i))
+            : _mm256_setzero_si256();
+    // Tables reload from L1 each block; with nsrc sources that is 2
+    // cache-hot loads per 32 bytes per source, well under the shuffle
+    // throughput this loop is bound by.
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      const std::uint8_t* tab = tabs + j * kNibbleTableBytes;
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[j] + i));
+      acc = _mm256_xor_si256(
+          acc, lookup32(broadcast16(tab), broadcast16(tab + 16), mask, v));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = accumulate ? dst[i] : 0;
+    for (std::size_t j = 0; j < nsrc; ++j)
+      b ^= tail_lookup(tabs + j * kNibbleTableBytes, srcs[j][i]);
+    dst[i] = b;
+  }
+}
+
+bool avx2_is_zero(const std::uint8_t* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    for (std::size_t k = 32; k < 128; k += 32)
+      acc = _mm256_or_si256(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + k)));
+    if (!_mm256_testz_si256(acc, acc)) return false;
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    if (w != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (p[i] != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+const RegionKernels& avx2_kernels() {
+  static const RegionKernels k = {
+      "avx2",        avx2_mul, avx2_mul_xor, avx2_xor,
+      avx2_multi_xor, avx2_dot, avx2_is_zero,
+  };
+  return k;
+}
+
+}  // namespace sma::gf::internal
+
+#endif  // SMA_GF_HAVE_AVX2

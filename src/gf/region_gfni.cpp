@@ -1,0 +1,146 @@
+// GFNI region kernels. vgf2p8affineqb applies an arbitrary 8x8 GF(2)
+// bit-matrix to every byte of a vector, and multiplication by a
+// constant in GF(256) is exactly such a matrix — one instruction per 32
+// bytes replaces the two shuffles, two masks, shift and XOR of the
+// split-nibble technique, in any polynomial basis (the instruction's
+// own reduction polynomial only matters for vgf2p8mulb, which we don't
+// use). The matrix is derived from the same 32-byte nibble table the
+// other tiers consume, so the dispatch contract is unchanged.
+//
+// Compiled with -mgfni -mavx2 in its own translation unit; region.cpp
+// gates on cpuid before dispatching here. XOR/is_zero carry no
+// multiplies, so this tier borrows them from the AVX2 kernel set.
+#include "gf/region_kernels.hpp"
+
+#if defined(SMA_GF_HAVE_GFNI)
+
+#include <immintrin.h>
+
+namespace sma::gf::internal {
+namespace {
+
+// Build the affine matrix for multiply-by-c from c's nibble table.
+// Qword byte k holds the matrix row that produces output bit (7 - k);
+// row bit j multiplies input bit j, i.e. selects bit (7 - k) of c*2^j.
+inline __m256i matrix_from_tab(const std::uint8_t* tab) {
+  std::uint8_t p[8];  // p[j] = c * (1 << j), straight out of the table
+  for (unsigned j = 0; j < 4; ++j) p[j] = tab[1u << j];
+  for (unsigned j = 4; j < 8; ++j) p[j] = tab[16 + (1u << (j - 4))];
+  std::uint64_t m = 0;
+  for (unsigned k = 0; k < 8; ++k) {
+    std::uint8_t row = 0;
+    for (unsigned j = 0; j < 8; ++j)
+      row |= static_cast<std::uint8_t>(((p[j] >> (7 - k)) & 1) << j);
+    m |= static_cast<std::uint64_t>(row) << (8 * k);
+  }
+  return _mm256_set1_epi64x(static_cast<long long>(m));
+}
+
+inline std::uint8_t tail_lookup(const std::uint8_t* tab, std::uint8_t v) {
+  return static_cast<std::uint8_t>(tab[v & 0xF] ^ tab[16 + (v >> 4)]);
+}
+
+void gfni_mul(const std::uint8_t* tab, const std::uint8_t* src,
+              std::uint8_t* dst, std::size_t n) {
+  const __m256i A = matrix_from_tab(tab);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_gf2p8affine_epi64_epi8(v0, A, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_gf2p8affine_epi64_epi8(v1, A, 0));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_gf2p8affine_epi64_epi8(v, A, 0));
+  }
+  for (; i < n; ++i) dst[i] = tail_lookup(tab, src[i]);
+}
+
+void gfni_mul_xor(const std::uint8_t* tab, const std::uint8_t* src,
+                  std::uint8_t* dst, std::size_t n) {
+  const __m256i A = matrix_from_tab(tab);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(d0, _mm256_gf2p8affine_epi64_epi8(v0, A, 0)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i + 32),
+        _mm256_xor_si256(d1, _mm256_gf2p8affine_epi64_epi8(v1, A, 0)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(d, _mm256_gf2p8affine_epi64_epi8(v, A, 0)));
+  }
+  for (; i < n; ++i) dst[i] ^= tail_lookup(tab, src[i]);
+}
+
+void gfni_dot(const std::uint8_t* tabs, const std::uint8_t* const* srcs,
+              std::size_t nsrc, std::uint8_t* dst, std::size_t n,
+              bool accumulate) {
+  constexpr std::size_t kInline = 16;
+  __m256i inline_mats[kInline];
+  // nsrc > kInline is rare (matrix rows wider than 16 live terms);
+  // fall back to rebuilding matrices per block rather than allocating.
+  const bool cached = nsrc <= kInline;
+  if (cached)
+    for (std::size_t j = 0; j < nsrc; ++j)
+      inline_mats[j] = matrix_from_tab(tabs + j * kNibbleTableBytes);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc =
+        accumulate
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i))
+            : _mm256_setzero_si256();
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      const __m256i A =
+          cached ? inline_mats[j]
+                 : matrix_from_tab(tabs + j * kNibbleTableBytes);
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[j] + i));
+      acc = _mm256_xor_si256(acc, _mm256_gf2p8affine_epi64_epi8(v, A, 0));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = accumulate ? dst[i] : 0;
+    for (std::size_t j = 0; j < nsrc; ++j)
+      b ^= tail_lookup(tabs + j * kNibbleTableBytes, srcs[j][i]);
+    dst[i] = b;
+  }
+}
+
+}  // namespace
+
+const RegionKernels& gfni_kernels() {
+  const RegionKernels& avx2 = avx2_kernels();
+  static const RegionKernels k = {
+      "gfni",         gfni_mul, gfni_mul_xor, avx2.xor_into,
+      avx2.multi_xor, gfni_dot, avx2.is_zero,
+  };
+  return k;
+}
+
+}  // namespace sma::gf::internal
+
+#endif  // SMA_GF_HAVE_GFNI

@@ -1,0 +1,65 @@
+// Internal kernel-set interface between the dispatch layer (region.cpp)
+// and the per-ISA translation units (region_ssse3.cpp, region_avx2.cpp,
+// region_neon.cpp). Not part of the public API.
+//
+// The contract: kernels receive raw pointers plus a 32-byte split-nibble
+// table per multiply constant — bytes 0..15 hold c * i for the low
+// nibble i, bytes 16..31 hold c * (i << 4) for the high nibble. Because
+// GF(256) multiplication is linear over GF(2),
+//   c * v == table[v & 0xF] ^ table[16 + (v >> 4)],
+// which is exactly the form pshufb/vtbl consume: two 16-entry lookups
+// and an XOR per byte, 16/32 bytes per instruction. The dispatch layer
+// handles the c == 0 / c == 1 special cases and span validation before
+// calling down, so kernels only see the general path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sma::gf::internal {
+
+inline constexpr std::size_t kNibbleTableBytes = 32;
+
+struct RegionKernels {
+  const char* name;
+  // dst[i] = tab-lookup of src[i].
+  void (*mul)(const std::uint8_t* tab, const std::uint8_t* src,
+              std::uint8_t* dst, std::size_t n);
+  // dst[i] ^= tab-lookup of src[i].
+  void (*mul_xor)(const std::uint8_t* tab, const std::uint8_t* src,
+                  std::uint8_t* dst, std::size_t n);
+  // dst[i] ^= src[i].
+  void (*xor_into)(const std::uint8_t* src, std::uint8_t* dst, std::size_t n);
+  // dst[i] ^= srcs[0][i] ^ ... ^ srcs[nsrc-1][i]; nsrc >= 1. One store
+  // per destination block regardless of nsrc.
+  void (*multi_xor)(const std::uint8_t* const* srcs, std::size_t nsrc,
+                    std::uint8_t* dst, std::size_t n);
+  // dst[i] (^)= XOR_j tabs[j]-lookup of srcs[j][i], where tabs holds
+  // nsrc consecutive 32-byte nibble tables; accumulate=false overwrites
+  // dst. nsrc >= 1.
+  void (*dot)(const std::uint8_t* tabs, const std::uint8_t* const* srcs,
+              std::size_t nsrc, std::uint8_t* dst, std::size_t n,
+              bool accumulate);
+  // true if all n bytes are zero; early-outs on the first nonzero word.
+  bool (*is_zero)(const std::uint8_t* p, std::size_t n);
+};
+
+/// Fill tab[0..31] with the split-nibble table for constant c.
+void build_nibble_table(std::uint8_t c, std::uint8_t* tab);
+
+const RegionKernels& scalar_kernels();
+#if defined(SMA_GF_HAVE_SSSE3)
+const RegionKernels& ssse3_kernels();
+#endif
+#if defined(SMA_GF_HAVE_AVX2)
+const RegionKernels& avx2_kernels();
+#endif
+#if defined(SMA_GF_HAVE_GFNI)
+// Requires SMA_GF_HAVE_AVX2 (borrows the pure-XOR kernels from it).
+const RegionKernels& gfni_kernels();
+#endif
+#if defined(SMA_GF_HAVE_NEON)
+const RegionKernels& neon_kernels();
+#endif
+
+}  // namespace sma::gf::internal

@@ -1,0 +1,122 @@
+// NEON (AArch64 AdvSIMD) region kernels: split-nibble GF(256) multiply
+// via vqtbl1q_u8, the arm64 analogue of pshufb. AdvSIMD is mandatory on
+// AArch64, so this tier needs no hwcap probe — it is compiled in (and
+// preferred) whenever the target architecture is arm64.
+#include "gf/region_kernels.hpp"
+
+#if defined(SMA_GF_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace sma::gf::internal {
+namespace {
+
+inline uint8x16_t lookup16(uint8x16_t lo_tab, uint8x16_t hi_tab,
+                           uint8x16_t v) {
+  const uint8x16_t lo = vandq_u8(v, vdupq_n_u8(0x0F));
+  const uint8x16_t hi = vshrq_n_u8(v, 4);
+  return veorq_u8(vqtbl1q_u8(lo_tab, lo), vqtbl1q_u8(hi_tab, hi));
+}
+
+inline std::uint8_t tail_lookup(const std::uint8_t* tab, std::uint8_t v) {
+  return static_cast<std::uint8_t>(tab[v & 0xF] ^ tab[16 + (v >> 4)]);
+}
+
+void neon_mul(const std::uint8_t* tab, const std::uint8_t* src,
+              std::uint8_t* dst, std::size_t n) {
+  const uint8x16_t lo_tab = vld1q_u8(tab);
+  const uint8x16_t hi_tab = vld1q_u8(tab + 16);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    vst1q_u8(dst + i, lookup16(lo_tab, hi_tab, vld1q_u8(src + i)));
+  for (; i < n; ++i) dst[i] = tail_lookup(tab, src[i]);
+}
+
+void neon_mul_xor(const std::uint8_t* tab, const std::uint8_t* src,
+                  std::uint8_t* dst, std::size_t n) {
+  const uint8x16_t lo_tab = vld1q_u8(tab);
+  const uint8x16_t hi_tab = vld1q_u8(tab + 16);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i),
+                               lookup16(lo_tab, hi_tab, vld1q_u8(src + i))));
+  for (; i < n; ++i) dst[i] ^= tail_lookup(tab, src[i]);
+}
+
+void neon_xor(const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(src + i), vld1q_u8(dst + i)));
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void neon_multi_xor(const std::uint8_t* const* srcs, std::size_t nsrc,
+                    std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t acc = vld1q_u8(dst + i);
+    for (std::size_t j = 0; j < nsrc; ++j)
+      acc = veorq_u8(acc, vld1q_u8(srcs[j] + i));
+    vst1q_u8(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = dst[i];
+    for (std::size_t j = 0; j < nsrc; ++j) b ^= srcs[j][i];
+    dst[i] = b;
+  }
+}
+
+void neon_dot(const std::uint8_t* tabs, const std::uint8_t* const* srcs,
+              std::size_t nsrc, std::uint8_t* dst, std::size_t n,
+              bool accumulate) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t acc = accumulate ? vld1q_u8(dst + i) : vdupq_n_u8(0);
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      const std::uint8_t* tab = tabs + j * kNibbleTableBytes;
+      acc = veorq_u8(acc, lookup16(vld1q_u8(tab), vld1q_u8(tab + 16),
+                                   vld1q_u8(srcs[j] + i)));
+    }
+    vst1q_u8(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = accumulate ? dst[i] : 0;
+    for (std::size_t j = 0; j < nsrc; ++j)
+      b ^= tail_lookup(tabs + j * kNibbleTableBytes, srcs[j][i]);
+    dst[i] = b;
+  }
+}
+
+bool neon_is_zero(const std::uint8_t* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    uint8x16_t acc = vld1q_u8(p + i);
+    for (std::size_t k = 16; k < 64; k += 16)
+      acc = vorrq_u8(acc, vld1q_u8(p + i + k));
+    if (vmaxvq_u8(acc) != 0) return false;
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    if (w != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (p[i] != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+const RegionKernels& neon_kernels() {
+  static const RegionKernels k = {
+      "neon",        neon_mul, neon_mul_xor, neon_xor,
+      neon_multi_xor, neon_dot, neon_is_zero,
+  };
+  return k;
+}
+
+}  // namespace sma::gf::internal
+
+#endif  // SMA_GF_HAVE_NEON

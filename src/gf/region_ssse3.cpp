@@ -1,0 +1,161 @@
+// SSSE3 region kernels: split-nibble GF(256) multiply via pshufb
+// (_mm_shuffle_epi8), 16 bytes per step — the technique GF-Complete /
+// ISA-L use for w=8. Compiled with -mssse3 in its own translation unit;
+// region.cpp only calls in after verifying cpuid support at runtime.
+#include "gf/region_kernels.hpp"
+
+#if defined(SMA_GF_HAVE_SSSE3)
+
+#include <tmmintrin.h>
+
+#include <cstring>
+
+namespace sma::gf::internal {
+namespace {
+
+// dst[i] (^)= tab-lookup of src[i] for one 16-byte lane.
+inline __m128i lookup16(__m128i lo_tab, __m128i hi_tab, __m128i mask,
+                        __m128i v) {
+  const __m128i lo = _mm_and_si128(v, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(lo_tab, lo),
+                       _mm_shuffle_epi8(hi_tab, hi));
+}
+
+// Scalar tail straight off the nibble table (tails are < 16 bytes, so
+// expanding a 256-entry row table would cost more than it saves).
+inline std::uint8_t tail_lookup(const std::uint8_t* tab, std::uint8_t v) {
+  return static_cast<std::uint8_t>(tab[v & 0xF] ^ tab[16 + (v >> 4)]);
+}
+
+void ssse3_mul(const std::uint8_t* tab, const std::uint8_t* src,
+               std::uint8_t* dst, std::size_t n) {
+  const __m128i lo_tab =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab));
+  const __m128i hi_tab =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     lookup16(lo_tab, hi_tab, mask, v));
+  }
+  for (; i < n; ++i) dst[i] = tail_lookup(tab, src[i]);
+}
+
+void ssse3_mul_xor(const std::uint8_t* tab, const std::uint8_t* src,
+                   std::uint8_t* dst, std::size_t n) {
+  const __m128i lo_tab =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab));
+  const __m128i hi_tab =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_xor_si128(d, lookup16(lo_tab, hi_tab, mask, v)));
+  }
+  for (; i < n; ++i) dst[i] ^= tail_lookup(tab, src[i]);
+}
+
+void ssse3_xor(const std::uint8_t* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void ssse3_multi_xor(const std::uint8_t* const* srcs, std::size_t nsrc,
+                     std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    for (std::size_t j = 0; j < nsrc; ++j)
+      acc = _mm_xor_si128(
+          acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[j] + i)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = dst[i];
+    for (std::size_t j = 0; j < nsrc; ++j) b ^= srcs[j][i];
+    dst[i] = b;
+  }
+}
+
+void ssse3_dot(const std::uint8_t* tabs, const std::uint8_t* const* srcs,
+               std::size_t nsrc, std::uint8_t* dst, std::size_t n,
+               bool accumulate) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc =
+        accumulate ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i))
+                   : _mm_setzero_si128();
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      const std::uint8_t* tab = tabs + j * kNibbleTableBytes;
+      const __m128i lo_tab =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab));
+      const __m128i hi_tab =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab + 16));
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[j] + i));
+      acc = _mm_xor_si128(acc, lookup16(lo_tab, hi_tab, mask, v));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = accumulate ? dst[i] : 0;
+    for (std::size_t j = 0; j < nsrc; ++j)
+      b ^= tail_lookup(tabs + j * kNibbleTableBytes, srcs[j][i]);
+    dst[i] = b;
+  }
+}
+
+bool ssse3_is_zero(const std::uint8_t* p, std::size_t n) {
+  std::size_t i = 0;
+  // Early-out every 64 bytes: zero-scrub scans mostly-zero buffers, so
+  // the common case is streaming, the payoff case is the first hit.
+  for (; i + 64 <= n; i += 64) {
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    for (std::size_t k = 16; k < 64; k += 16)
+      acc = _mm_or_si128(
+          acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + k)));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(acc, _mm_setzero_si128())) != 0xFFFF)
+      return false;
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    if (w != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (p[i] != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+const RegionKernels& ssse3_kernels() {
+  static const RegionKernels k = {
+      "ssse3",        ssse3_mul, ssse3_mul_xor, ssse3_xor,
+      ssse3_multi_xor, ssse3_dot, ssse3_is_zero,
+  };
+  return k;
+}
+
+}  // namespace sma::gf::internal
+
+#endif  // SMA_GF_HAVE_SSSE3
