@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Plot the per-disk utilization timelines from bench_disk_timeline.
+
+Reads sma_disk_timeline.csv (long format: arrangement, t (s), disk,
+util, qdepth, rebuild MB/s, user MB/s, retries) and renders one
+utilization-vs-time panel per arrangement — the traditional panel shows
+a single saturated partner disk, the shifted panel an even spread.
+
+With matplotlib installed a PNG is written; without it the script falls
+back to ASCII sparklines on stdout so the comparison still works in a
+bare container or CI log.
+
+Usage:
+  scripts/plot_timeline.py [--csv sma_disk_timeline.csv]
+      [--out sma_disk_timeline.png] [--metric util]
+"""
+
+import argparse
+import collections
+import csv
+import pathlib
+import sys
+
+METRICS = {
+    "util": "util",
+    "qdepth": "qdepth",
+    "rebuild_mbps": "rebuild MB/s",
+    "user_mbps": "user MB/s",
+    "retries": "retries",
+}
+
+SPARK = " .:-=+*#%@"
+
+
+def load(path, metric_column):
+    """-> {arrangement: {disk: [(t, value), ...]}} in file order."""
+    series = collections.OrderedDict()
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            arr = series.setdefault(row["arrangement"], collections.OrderedDict())
+            arr.setdefault(int(row["disk"]), []).append(
+                (float(row["t (s)"]), float(row[metric_column]))
+            )
+    return series
+
+
+def ascii_panels(series, metric):
+    top = max(
+        (v for disks in series.values() for pts in disks.values() for _, v in pts),
+        default=0.0,
+    )
+    scale = top if top > 0 else 1.0
+    for arrangement, disks in series.items():
+        span = max(t for pts in disks.values() for t, _ in pts)
+        print(f"\n{arrangement}: {metric} per disk, 0..{span:.1f} s "
+              f"(scale: '@' = {scale:.2f})")
+        for disk, pts in disks.items():
+            line = "".join(
+                SPARK[min(len(SPARK) - 1, int(v / scale * (len(SPARK) - 1)))]
+                for _, v in pts
+            )
+            print(f"  d{disk:<2} |{line}|")
+
+
+def png_panels(series, metric, out):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(
+        len(series), 1, figsize=(10, 3.2 * len(series)), sharex=True, sharey=True
+    )
+    if len(series) == 1:
+        axes = [axes]
+    for ax, (arrangement, disks) in zip(axes, series.items()):
+        for disk, pts in disks.items():
+            ts, vs = zip(*pts)
+            ax.plot(ts, vs, label=f"disk {disk}", linewidth=1.2)
+        ax.set_title(f"{arrangement} — per-disk {metric} during online rebuild")
+        ax.set_ylabel(metric)
+        ax.legend(loc="upper right", fontsize=7, ncol=2)
+    axes[-1].set_xlabel("simulated time (s)")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--csv", default="sma_disk_timeline.csv")
+    ap.add_argument("--out", default="sma_disk_timeline.png")
+    ap.add_argument("--metric", default="util", choices=sorted(METRICS))
+    args = ap.parse_args()
+
+    path = pathlib.Path(args.csv)
+    if not path.exists():
+        sys.exit(f"{path} not found — run build/bench/bench_disk_timeline first")
+    series = load(path, METRICS[args.metric])
+    if not series:
+        sys.exit(f"{path} has no rows")
+
+    try:
+        png_panels(series, args.metric, args.out)
+    except ImportError:
+        print("matplotlib not available; ASCII fallback", file=sys.stderr)
+        ascii_panels(series, args.metric)
+
+
+if __name__ == "__main__":
+    main()

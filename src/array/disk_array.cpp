@@ -409,16 +409,33 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
       if (transient && attempts < cfg_.io_max_retries) {
         ++attempts;
         ++stats.retried_ops;
+        if (observer_ != nullptr) {
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::kRetry;
+          ev.t_s = d.busy_until();
+          ev.disk = phys;
+          ev.slot = sl;
+          ev.stripe = op.stripe;
+          ev.write = op.kind == disk::IoKind::kWrite;
+          observer_->emit(ev);
+          observer_->count("array.retried_ops");
+        }
         continue;
       }
       if (res.status().code() == ErrorCode::kUnreadableSector)
         ++stats.unreadable_ops;
       ++stats.failed_ops;
+      if (observer_ != nullptr) observer_->count("array.failed_ops");
       break;
     }
   }
   stats.max_ops_per_disk = *std::max_element(per_disk.begin(), per_disk.end());
   return stats;
+}
+
+void DiskArray::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  for (auto& d : disks_) d.set_observer(observer);
 }
 
 void DiskArray::reset_timelines() {

@@ -19,6 +19,7 @@
 #include "disk/fault_profile.hpp"
 #include "disk/sim_disk.hpp"
 #include "ec/codec.hpp"
+#include "obs/observer.hpp"
 #include "layout/architecture.hpp"
 #include "layout/stack.hpp"
 #include "util/status.hpp"
@@ -157,6 +158,14 @@ class DiskArray {
   void reset_timelines();
   void reset_counters();
 
+  // --- observability ---------------------------------------------------
+  /// Attach an observer to the array and every physical disk: disks
+  /// emit service spans, execute() emits retry events and batch
+  /// counters. Pass nullptr (the default state) to detach; the disabled
+  /// path is a branch per access with no other cost.
+  void set_observer(obs::Observer* observer);
+  obs::Observer* observer() const { return observer_; }
+
   /// Codec backing RAID-5/6 kinds (nullptr for mirror kinds); used by
   /// the reconstruction executor to decode stripes.
   const ec::Codec* raid_codec() const { return raid_codec_.get(); }
@@ -165,6 +174,7 @@ class DiskArray {
   ArrayConfig cfg_;
   layout::StackMapper mapper_;
   std::vector<disk::SimDisk> disks_;
+  obs::Observer* observer_ = nullptr;
 
   /// Codec used to materialize / verify parity for RAID-5/6 kinds.
   ec::CodecPtr raid_codec_;

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/observer.hpp"
+
 namespace sma::disk {
 
 SimDisk::SimDisk(int id, DiskSpec spec, std::int64_t slot_count,
@@ -45,6 +47,13 @@ IoResult SimDisk::submit(IoKind kind, std::int64_t slot,
     // start at or after it: the disk dies instead of serving.
     fail_stop_armed_ = false;
     fail();
+    if (observer_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kFailure;
+      ev.t_s = fault_.fail_at_s;
+      ev.disk = id_;
+      observer_->emit(ev);
+    }
     return io_error("disk " + std::to_string(id_) +
                     " fail-stopped at scheduled t=" +
                     std::to_string(fault_.fail_at_s));
@@ -61,6 +70,20 @@ IoResult SimDisk::submit(IoKind kind, std::int64_t slot,
   if (sequential) ++counters_.sequential;
   counters_.busy_s += service;
   if (tracing_) trace_.push_back({kind, slot, start, busy_until_, sequential});
+  if (observer_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kServiceStart;
+    ev.t_s = start;
+    ev.dur_s = service;
+    ev.disk = id_;
+    ev.slot = slot;
+    ev.write = kind == IoKind::kWrite;
+    observer_->emit(ev);
+    ev.kind = obs::EventKind::kServiceEnd;
+    ev.t_s = busy_until_;
+    ev.dur_s = 0.0;
+    observer_->emit(ev);
+  }
 
   // Error checks charge the full service time (above) first: the disk
   // was occupied attempting the access either way.

@@ -27,6 +27,10 @@
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
+namespace sma::obs {
+struct Observer;
+}  // namespace sma::obs
+
 namespace sma::disk {
 
 enum class IoKind { kRead, kWrite };
@@ -94,6 +98,13 @@ class SimDisk {
   /// Zero counters only.
   void reset_counters();
 
+  /// Attach an observability sink: every submitted access emits a
+  /// service_start/service_end event pair and a fail-stop that
+  /// manifests in submit() emits a failure event. Null (the default)
+  /// disables the hook — one branch per access, no other cost.
+  void set_observer(obs::Observer* observer) { observer_ = observer; }
+  obs::Observer* observer() const { return observer_; }
+
   /// Start recording every submitted op (off by default; recording a
   /// long experiment costs memory proportional to its op count).
   void enable_trace(bool on = true) { tracing_ = on; }
@@ -148,6 +159,7 @@ class SimDisk {
   std::int64_t head_slot_ = -2;  // -2: unknown position (first op seeks)
   bool failed_ = false;
   bool tracing_ = false;
+  obs::Observer* observer_ = nullptr;
   DiskCounters counters_;
   std::vector<TraceEntry> trace_;
   std::vector<std::uint8_t> store_;

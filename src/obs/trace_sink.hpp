@@ -1,0 +1,92 @@
+// TraceSink — typed event recording for the discrete-event simulators.
+//
+// Every instrumented layer (sim kernel, SimDisk, DiskArray, the online
+// reconstruction, the batch executor, the workloads) emits TraceEvents
+// into one sink with *simulated* timestamps. The sink preserves append
+// order and exports two formats:
+//
+//  * JSONL — one JSON object per line, lossless (parse_jsonl round-trips
+//    bit-exactly thanks to %.17g doubles), for ad-hoc tooling;
+//  * Chrome trace_event JSON — loadable in Perfetto / chrome://tracing,
+//    with one track (tid) per disk: service intervals become complete
+//    ("X") slices, everything else instant events.
+//
+// Recording is opt-in per experiment: code paths hold a nullable
+// obs::Observer and the disabled path is a single pointer test.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sma::obs {
+
+/// Everything the instrumented stack can report. Service intervals come
+/// from SimDisk::submit (start carries the duration); queue and rebuild
+/// lifecycle events come from the online simulator and the batch
+/// executor; failure/heal mark topology changes.
+enum class EventKind : std::uint8_t {
+  kRequestArrive,    // user request entered the system
+  kQueueEnter,       // a job joined a per-disk queue
+  kQueueLeave,       // a job left the queue and entered service
+  kServiceStart,     // disk began serving one element access
+  kServiceEnd,       // the access completed (or errored, disk occupied)
+  kRebuildIssue,     // rebuild I/O (or batch) handed to a disk queue
+  kRebuildComplete,  // that rebuild I/O (or batch) finished
+  kFailure,          // a disk died (configured, injected, or fail-stop)
+  kHeal,             // a rebuilt disk returned to service
+  kRetry,            // transient I/O error, op re-submitted
+};
+
+/// Stable lowercase name ("request_arrive", "service_start", ...).
+const char* to_string(EventKind kind);
+/// Inverse of to_string; kInvalidArgument on unknown names.
+Result<EventKind> event_kind_from(std::string_view name);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kServiceStart;
+  double t_s = 0.0;    // simulated time of the event
+  double dur_s = 0.0;  // kServiceStart only: service interval length
+  int disk = -1;       // physical disk, -1 when not disk-scoped
+  int stripe = -1;     // rebuild events: owning stripe
+  int request_id = -1; // user-request events: request identity
+  std::int64_t slot = -1;
+  bool rebuild = false;  // job class: rebuild I/O vs user I/O
+  bool write = false;    // access kind: write vs read
+};
+
+class TraceSink {
+ public:
+  /// Append one event. Order of recording is preserved; timestamps are
+  /// monotone per disk (per-disk FIFO service) but not globally.
+  void record(const TraceEvent& event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+  /// Number of recorded events of one kind.
+  std::size_t count(EventKind kind) const;
+
+  /// One JSON object per line, append order. Fields with default values
+  /// (-1 / false / 0 duration) are omitted.
+  Status write_jsonl(std::ostream& out) const;
+  Status write_jsonl_file(const std::string& path) const;
+  /// Inverse of write_jsonl: reconstructs an identical sink.
+  static Result<TraceSink> parse_jsonl(std::istream& in);
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) for Perfetto.
+  /// Timestamps in microseconds; pid 0; tid = disk (+1 so track 0 is
+  /// free for non-disk events).
+  Status write_chrome_trace(std::ostream& out) const;
+  Status write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sma::obs

@@ -301,11 +301,39 @@ double ReconReport::read_throughput_mbps() const {
                          read_makespan_s);
 }
 
+namespace {
+
+/// Detach the observer from the array on every exit path.
+struct ObsGuard {
+  array::DiskArray* arr = nullptr;
+  ~ObsGuard() {
+    if (arr != nullptr) arr->set_observer(nullptr);
+  }
+};
+
+}  // namespace
+
 Result<ReconReport> reconstruct(array::DiskArray& arr,
                                 const ReconOptions& opts) {
   const auto failed_physical = arr.failed_physical();
   ReconReport report;
   if (failed_physical.empty()) return report;
+
+  obs::Observer* const ob =
+      opts.observer != nullptr && opts.observer->active() ? opts.observer
+                                                          : nullptr;
+  ObsGuard obs_guard;
+  if (ob != nullptr) {
+    arr.set_observer(ob);
+    obs_guard.arr = &arr;
+    for (const int p : failed_physical) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kFailure;
+      ev.t_s = 0.0;
+      ev.disk = p;
+      ob->emit(ev);
+    }
+  }
 
   const auto& arch = arr.arch();
   const int rows = arch.rows();
@@ -391,9 +419,25 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
     // overlap the next stripe's reads with this stripe's writes.
     report.stripe_read_done_s.reserve(static_cast<std::size_t>(arr.stripes()));
     for (int s = 0; s < arr.stripes(); ++s) {
+      if (ob != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kRebuildIssue;
+        ev.t_s = 0.0;
+        ev.stripe = s;
+        ev.rebuild = true;
+        ob->emit(ev);
+      }
       const auto rstats =
           arr.execute(stripe_reads[static_cast<std::size_t>(s)], 0.0);
       report.stripe_read_done_s.push_back(rstats.end_s);
+      if (ob != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kRebuildComplete;
+        ev.t_s = rstats.end_s;
+        ev.stripe = s;
+        ev.rebuild = true;
+        ob->emit(ev);
+      }
       report.read_makespan_s = std::max(report.read_makespan_s, rstats.end_s);
       report.logical_bytes_read += rstats.logical_bytes_read;
       absorb(rstats);
@@ -415,6 +459,15 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
       const auto& ws = stripe_writes[static_cast<std::size_t>(s)];
       write_ops.insert(write_ops.end(), ws.begin(), ws.end());
     }
+    if (ob != nullptr) {
+      // One aggregate issue marker: the barrier mode launches the whole
+      // read set at once.
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRebuildIssue;
+      ev.t_s = 0.0;
+      ev.rebuild = true;
+      ob->emit(ev);
+    }
     const auto read_stats = arr.execute(read_ops, 0.0);
     report.read_makespan_s = read_stats.elapsed_s();
     report.logical_bytes_read = read_stats.logical_bytes_read;
@@ -423,6 +476,25 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
     report.total_makespan_s = write_stats.end_s;
     report.logical_bytes_recovered = write_stats.logical_bytes_written;
     absorb(write_stats);
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRebuildComplete;
+      ev.t_s = report.read_makespan_s;
+      ev.rebuild = true;
+      ob->emit(ev);
+    }
+  }
+
+  if (ob != nullptr) {
+    ob->count("recon.bytes_read", report.logical_bytes_read);
+    ob->count("recon.bytes_recovered", report.logical_bytes_recovered);
+    for (const int p : failed_physical) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kHeal;
+      ev.t_s = report.total_makespan_s;
+      ev.disk = p;
+      ob->emit(ev);
+    }
   }
 
   if (opts.verify) {

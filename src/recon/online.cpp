@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,6 +41,17 @@ struct Request {
   bool is_write = false;
 };
 
+/// Detach observation on every exit path: probes registered below
+/// capture this stack frame, so they must not outlive it.
+struct ObsGuard {
+  array::DiskArray* arr = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  ~ObsGuard() {
+    if (metrics != nullptr) metrics->clear_probes();
+    if (arr != nullptr) arr->set_observer(nullptr);
+  }
+};
+
 }  // namespace
 
 Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
@@ -66,9 +79,85 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       return invalid_argument("invalid second failure disk");
   }
 
-  std::vector<DiskQueue> queues(static_cast<std::size_t>(arr.total_disks()));
+  arr.reset_timelines();
+  sim::Simulation sim;
+  Rng rng(cfg.seed);
+
+  // Observability (null = disabled, the default): the array and the
+  // event kernel get the observer for service spans and metric cadence;
+  // everything else is emitted inline below. The guard detaches on
+  // every return path.
+  obs::Observer* const ob =
+      cfg.observer != nullptr && cfg.observer->active() ? cfg.observer
+                                                        : nullptr;
+  obs::MetricsRegistry* const metrics = ob != nullptr ? ob->metrics : nullptr;
+  ObsGuard obs_guard;
+  const std::size_t ndisks = static_cast<std::size_t>(arr.total_disks());
+  // Per-disk service tallies backing the timeline probes (only
+  // maintained while observing).
+  std::vector<double> rebuild_bytes_served;
+  std::vector<double> user_bytes_served;
+  std::vector<double> retries_seen;
+
+  std::vector<DiskQueue> queues(ndisks);
   std::vector<int> stripe_pending(static_cast<std::size_t>(arr.stripes()), 0);
   std::size_t rebuild_remaining = 0;
+
+  if (ob != nullptr) {
+    arr.set_observer(ob);
+    sim.set_observer(ob);
+    obs_guard.arr = &arr;
+    obs_guard.metrics = metrics;
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kFailure;
+    ev.t_s = 0.0;
+    ev.disk = initial_failed[0];
+    ob->emit(ev);
+    if (metrics != nullptr) {
+      rebuild_bytes_served.assign(ndisks, 0.0);
+      user_bytes_served.assign(ndisks, 0.0);
+      retries_seen.assign(ndisks, 0.0);
+      for (std::size_t d = 0; d < ndisks; ++d) {
+        const std::string prefix = "d" + std::to_string(d) + ".";
+        metrics->add_probe(
+            prefix + "util",
+            [&arr, d, last = 0.0](double, double dt) mutable {
+              const double busy =
+                  arr.physical(static_cast<int>(d)).counters().busy_s;
+              const double util = dt > 0.0 ? (busy - last) / dt : 0.0;
+              last = busy;
+              return util;
+            });
+        metrics->add_probe(prefix + "qdepth",
+                           [&queues, d](double, double) {
+                             const DiskQueue& q = queues[d];
+                             return static_cast<double>(q.user.size() +
+                                                        q.rebuild.size()) +
+                                    (q.busy ? 1.0 : 0.0);
+                           });
+        metrics->add_probe(
+            prefix + "rebuild_mbps",
+            [&rebuild_bytes_served, d, last = 0.0](double, double dt) mutable {
+              const double b = rebuild_bytes_served[d];
+              const double rate = dt > 0.0 ? (b - last) / dt / 1e6 : 0.0;
+              last = b;
+              return rate;
+            });
+        metrics->add_probe(
+            prefix + "user_mbps",
+            [&user_bytes_served, d, last = 0.0](double, double dt) mutable {
+              const double b = user_bytes_served[d];
+              const double rate = dt > 0.0 ? (b - last) / dt / 1e6 : 0.0;
+              last = b;
+              return rate;
+            });
+        metrics->add_probe(prefix + "retries",
+                           [&retries_seen, d](double, double) {
+                             return retries_seen[d];
+                           });
+      }
+    }
+  }
 
   // (Re)plan the rebuild reads of one stripe against the current failed
   // set and enqueue them. Returns false on planning failure.
@@ -88,15 +177,21 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       queues[static_cast<std::size_t>(phys)].rebuild.push_back(job);
       ++stripe_pending[static_cast<std::size_t>(s)];
       ++rebuild_remaining;
+      if (ob != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kRebuildIssue;
+        ev.t_s = sim.now();
+        ev.disk = phys;
+        ev.stripe = s;
+        ev.slot = job.slot;
+        ev.rebuild = true;
+        ob->emit(ev);
+      }
     }
     return true;
   };
   for (int s = 0; s < arr.stripes(); ++s)
     if (!plan_stripe(s)) return internal_error("initial rebuild plan failed");
-
-  arr.reset_timelines();
-  sim::Simulation sim;
-  Rng rng(cfg.seed);
 
   OnlineReport report;
   SampleSet read_latencies;
@@ -107,7 +202,8 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   // Retire one job — user piece (latency accounting on the last piece)
   // or rebuild read (stripe bookkeeping). Shared by the success path and
   // the abandoned-op path, so a failed op still lets its request finish.
-  auto complete_job = [&](const Job& job) {
+  // `disk` is the serving disk (trace labeling only).
+  auto complete_job = [&](const Job& job, int disk) {
     if (job.request_id >= 0) {
       Request& rq = requests[static_cast<std::size_t>(job.request_id)];
       if (--rq.pieces_left == 0) {
@@ -122,7 +218,27 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     } else {
       --stripe_pending[static_cast<std::size_t>(job.stripe)];
       --rebuild_remaining;
-      if (rebuild_remaining == 0) report.rebuild_done_s = sim.now();
+      if (ob != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kRebuildComplete;
+        ev.t_s = sim.now();
+        ev.disk = disk;
+        ev.stripe = job.stripe;
+        ev.slot = job.slot;
+        ev.rebuild = true;
+        ob->emit(ev);
+      }
+      if (rebuild_remaining == 0) {
+        report.rebuild_done_s = sim.now();
+        if (ob != nullptr) {
+          // Aggregate marker: the whole rebuild drained.
+          obs::TraceEvent done;
+          done.kind = obs::EventKind::kRebuildComplete;
+          done.t_s = sim.now();
+          done.rebuild = true;
+          ob->emit(done);
+        }
+      }
     }
   };
 
@@ -143,6 +259,18 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       return;
     }
     q.busy = true;
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kQueueLeave;
+      ev.t_s = sim.now();
+      ev.disk = disk;
+      ev.slot = job.slot;
+      ev.request_id = job.request_id;
+      ev.stripe = job.stripe;
+      ev.rebuild = job.request_id < 0;
+      ev.write = job.kind == disk::IoKind::kWrite;
+      ob->emit(ev);
+    }
     disk::SimDisk& d = arr.physical(disk);
     const disk::IoResult res = d.submit(job.kind, job.slot, sim.now());
     if (!res.is_ok()) {
@@ -170,13 +298,29 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
         if (transient && job.attempts < arr.config().io_max_retries) {
           ++job.attempts;
           ++report.io_retries;
+          if (ob != nullptr) {
+            obs::TraceEvent ev;
+            ev.kind = obs::EventKind::kRetry;
+            ev.t_s = sim.now();
+            ev.disk = disk;
+            ev.slot = job.slot;
+            ev.request_id = job.request_id;
+            ev.stripe = job.stripe;
+            ev.rebuild = job.request_id < 0;
+            ev.write = job.kind == disk::IoKind::kWrite;
+            ob->emit(ev);
+            ob->count("online.io_retries");
+            if (metrics != nullptr)
+              retries_seen[static_cast<std::size_t>(disk)] += 1.0;
+          }
           if (job.request_id >= 0)
             dq.user.push_front(job);
           else
             dq.rebuild.push_front(job);
         } else {
           ++report.io_failures;
-          complete_job(job);
+          if (ob != nullptr) ob->count("online.io_failures");
+          complete_job(job, disk);
         }
         dispatch(disk);
       });
@@ -184,13 +328,30 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     }
     sim.schedule_at(res.value(), [&, disk, job] {
       queues[static_cast<std::size_t>(disk)].busy = false;
-      complete_job(job);
+      if (metrics != nullptr) {
+        const double bytes =
+            static_cast<double>(arr.config().logical_element_bytes);
+        auto& tally = job.request_id < 0 ? rebuild_bytes_served
+                                         : user_bytes_served;
+        tally[static_cast<std::size_t>(disk)] += bytes;
+      }
+      complete_job(job, disk);
       dispatch(disk);
     });
   };
 
   auto enqueue_user = [&](int phys, const Job& job) {
     queues[static_cast<std::size_t>(phys)].user.push_back(job);
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kQueueEnter;
+      ev.t_s = sim.now();
+      ev.disk = phys;
+      ev.slot = job.slot;
+      ev.request_id = job.request_id;
+      ev.write = job.kind == disk::IoKind::kWrite;
+      ob->emit(ev);
+    }
     dispatch(phys);
   };
 
@@ -250,6 +411,15 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
 
     const int rid = static_cast<int>(requests.size());
     requests.push_back({sim.now(), 0, false, is_write});
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRequestArrive;
+      ev.t_s = sim.now();
+      ev.request_id = rid;
+      ev.write = is_write;
+      ob->emit(ev);
+      ob->count(is_write ? "online.user_writes" : "online.user_reads");
+    }
 
     if (is_write) {
       ++report.user_writes;
@@ -283,6 +453,7 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
         if (degraded) {
           requests[static_cast<std::size_t>(rid)].degraded = true;
           ++report.degraded_reads;
+          if (ob != nullptr) ob->count("online.degraded_reads");
         }
         requests[static_cast<std::size_t>(rid)].pieces_left =
             static_cast<int>(pieces.size());
@@ -362,6 +533,13 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       if (arr.physical(dead).failed()) return;
       report.second_failure_injected = true;
       arr.fail_physical(dead);
+      if (ob != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kFailure;
+        ev.t_s = sim.now();
+        ev.disk = dead;
+        ob->emit(ev);
+      }
       handle_disk_death(dead);
     });
   }

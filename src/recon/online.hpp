@@ -40,6 +40,16 @@ struct OnlineConfig {
   double second_failure_at_s = -1.0;
   int second_failure_disk = -1;
   std::uint64_t seed = 7;
+  /// Optional observability hooks (borrowed, caller-owned). With a
+  /// TraceSink attached the run emits the full event stream — request
+  /// arrivals, queue enter/leave, per-disk service spans, rebuild
+  /// issue/complete, failures, retries. With a MetricsRegistry attached
+  /// (and a sample interval set) per-disk timelines are sampled on the
+  /// simulated-time cadence: "d<k>.util", "d<k>.qdepth",
+  /// "d<k>.rebuild_mbps", "d<k>.user_mbps", "d<k>.retries". Probes
+  /// registered here are cleared before returning. Null (default):
+  /// zero-overhead, the OnlineReport is bit-identical either way.
+  obs::Observer* observer = nullptr;
 };
 
 struct OnlineReport {

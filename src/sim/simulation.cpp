@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/observer.hpp"
+
 namespace sma::sim {
 
 void Simulation::schedule_at(double when, std::function<void()> fn) {
@@ -21,6 +23,10 @@ double Simulation::run() {
     // of the handler after popping the ordering fields.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    // Sample metric timelines at every cadence boundary the clock is
+    // about to cross — before the event runs, so a tick at exactly
+    // ev.when sees the pre-event state deterministically.
+    if (observer_ != nullptr) observer_->advance_time(ev.when);
     now_ = ev.when;
     ++executed_;
     ev.fn();
@@ -32,11 +38,13 @@ double Simulation::run_until(double deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if (observer_ != nullptr) observer_->advance_time(ev.when);
     now_ = ev.when;
     ++executed_;
     ev.fn();
   }
   if (now_ < deadline && queue_.empty()) return now_;
+  if (observer_ != nullptr) observer_->advance_time(deadline);
   now_ = deadline;
   return now_;
 }

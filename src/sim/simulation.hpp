@@ -12,11 +12,23 @@
 #include <queue>
 #include <vector>
 
+namespace sma::obs {
+struct Observer;
+}  // namespace sma::obs
+
 namespace sma::sim {
 
 class Simulation {
  public:
   double now() const { return now_; }
+
+  /// Attach an observer: as the clock advances past metric-sampling
+  /// cadence boundaries the kernel drives MetricsRegistry::advance_to,
+  /// so timelines are sampled on simulated time without scheduling
+  /// events (observation cannot perturb the simulated system). Null
+  /// (the default) disables the hook — one branch per event.
+  void set_observer(obs::Observer* observer) { observer_ = observer; }
+  obs::Observer* observer() const { return observer_; }
 
   /// Schedule `fn` to run at absolute simulated time `when` (>= now).
   void schedule_at(double when, std::function<void()> fn);
@@ -45,6 +57,7 @@ class Simulation {
   };
 
   double now_ = 0.0;
+  obs::Observer* observer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -45,11 +45,8 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
-void SampleSet::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+void SampleSet::add(double x) {
+  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), x), x);
 }
 
 double SampleSet::mean() const {
@@ -60,20 +57,17 @@ double SampleSet::mean() const {
 
 double SampleSet::min() const {
   assert(!samples_.empty());
-  ensure_sorted();
   return samples_.front();
 }
 
 double SampleSet::max() const {
   assert(!samples_.empty());
-  ensure_sorted();
   return samples_.back();
 }
 
 double SampleSet::percentile(double p) const {
   assert(!samples_.empty());
   assert(p >= 0.0 && p <= 100.0);
-  ensure_sorted();
   if (samples_.size() == 1) return samples_[0];
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

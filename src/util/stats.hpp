@@ -31,13 +31,14 @@ class RunningStat {
   double max_ = 0.0;
 };
 
-/// Order statistics over a retained sample set.
+/// Order statistics over a retained sample set. Samples are kept sorted
+/// on insertion, so every accessor is genuinely const — concurrent
+/// reads of a no-longer-mutated set are safe. (The previous lazy
+/// sort-on-read mutated state under `const`, a data race when two
+/// threads called percentile() on a shared set.)
 class SampleSet {
  public:
-  void add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
-  }
+  void add(double x);
   void reserve(std::size_t n) { samples_.reserve(n); }
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -49,12 +50,11 @@ class SampleSet {
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  /// The retained samples in ascending order (not insertion order).
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
-  void ensure_sorted() const;
+  std::vector<double> samples_;  // ascending
 };
 
 /// Fixed-bucket linear histogram for latency distributions.

@@ -23,6 +23,10 @@ Result<DegradedReadReport> run_degraded_reads(array::DiskArray& arr,
     return invalid_argument("degraded read workload expects <= 1 failure");
   if (cfg.read_count < 0) return invalid_argument("negative read count");
 
+  obs::Observer* const ob =
+      cfg.observer != nullptr && cfg.observer->active() ? cfg.observer
+                                                        : nullptr;
+
   Rng rng(cfg.seed);
   DegradedReadReport report;
   std::vector<array::Op> ops;
@@ -45,10 +49,25 @@ Result<DegradedReadReport> run_degraded_reads(array::DiskArray& arr,
       ++report.degraded_reads;
     }
     ops.push_back({logical, stripe, target_row, disk::IoKind::kRead});
+    if (ob != nullptr) {
+      // The batch model has no arrival process: all reads are pending
+      // at t=0; the event records the disk each one resolved to.
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRequestArrive;
+      ev.t_s = 0.0;
+      ev.request_id = k;
+      ev.disk = arr.physical_disk(logical, stripe);
+      ob->emit(ev);
+    }
+  }
+  if (ob != nullptr) {
+    ob->count("workload.degraded_reads", report.degraded_reads);
+    arr.set_observer(ob);
   }
 
   arr.reset_timelines();
   const auto stats = arr.execute(ops, 0.0);
+  if (ob != nullptr) arr.set_observer(nullptr);
   report.makespan_s = stats.elapsed_s();
   report.logical_bytes_read = stats.logical_bytes_read;
 

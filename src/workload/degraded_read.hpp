@@ -16,6 +16,10 @@ namespace sma::workload {
 struct DegradedReadConfig {
   int read_count = 1000;
   std::uint64_t seed = 13;
+  /// Optional observability hooks (borrowed; detached before
+  /// returning): request arrivals + per-disk service spans. Null
+  /// (default): zero-overhead, the report is bit-identical either way.
+  obs::Observer* observer = nullptr;
 };
 
 struct DegradedReadReport {

@@ -12,8 +12,21 @@ double WriteRunReport::write_throughput_mbps() const {
   return throughput_mbps(static_cast<double>(user_bytes), makespan_s);
 }
 
+namespace {
+
+/// Detach the observer from the array on every exit path.
+struct ObsGuard {
+  array::DiskArray* arr = nullptr;
+  ~ObsGuard() {
+    if (arr != nullptr) arr->set_observer(nullptr);
+  }
+};
+
+}  // namespace
+
 WriteRunReport run_write_workload(array::DiskArray& arr,
-                                  const std::vector<WriteRequest>& requests) {
+                                  const std::vector<WriteRequest>& requests,
+                                  obs::Observer* observer) {
   const auto& arch = arr.arch();
   assert(arch.is_mirror() && "write executor models the mirror methods");
   const int n = arch.n();
@@ -24,6 +37,15 @@ WriteRunReport run_write_workload(array::DiskArray& arr,
   WriteRunReport report;
   double clock = 0.0;
 
+  obs::Observer* const ob =
+      observer != nullptr && observer->active() ? observer : nullptr;
+  ObsGuard obs_guard;
+  if (ob != nullptr) {
+    arr.set_observer(ob);
+    obs_guard.arr = &arr;
+  }
+
+  int request_id = 0;
   std::vector<array::Op> reads;
   std::vector<array::Op> writes;
   for (const WriteRequest& req : requests) {
@@ -80,6 +102,17 @@ WriteRunReport run_write_workload(array::DiskArray& arr,
       remaining -= len;
     }
 
+    if (ob != nullptr) {
+      // Closed-loop model: the request "arrives" when the previous one
+      // finished and the tester issues it.
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRequestArrive;
+      ev.t_s = clock;
+      ev.request_id = request_id++;
+      ev.write = true;
+      ob->emit(ev);
+      ob->count("workload.write_requests");
+    }
     const auto read_stats = arr.execute(reads, clock);
     const auto write_stats = arr.execute(writes, read_stats.end_s);
     clock = write_stats.end_s;

@@ -1,0 +1,151 @@
+#include "obs/trace_sink.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sma::obs {
+namespace {
+
+TraceEvent make_event(EventKind kind, double t) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.t_s = t;
+  return ev;
+}
+
+TEST(TraceSink, StartsEmpty) {
+  TraceSink sink;
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.count(EventKind::kRetry), 0u);
+}
+
+TEST(TraceSink, PreservesAppendOrder) {
+  TraceSink sink;
+  sink.record(make_event(EventKind::kRequestArrive, 3.0));
+  sink.record(make_event(EventKind::kQueueEnter, 1.0));
+  sink.record(make_event(EventKind::kServiceStart, 2.0));
+  ASSERT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.events()[0].kind, EventKind::kRequestArrive);
+  EXPECT_EQ(sink.events()[1].kind, EventKind::kQueueEnter);
+  EXPECT_EQ(sink.events()[2].kind, EventKind::kServiceStart);
+  EXPECT_DOUBLE_EQ(sink.events()[0].t_s, 3.0);
+}
+
+TEST(TraceSink, CountsByKind) {
+  TraceSink sink;
+  for (int i = 0; i < 3; ++i)
+    sink.record(make_event(EventKind::kServiceStart, i));
+  sink.record(make_event(EventKind::kFailure, 9.0));
+  EXPECT_EQ(sink.count(EventKind::kServiceStart), 3u);
+  EXPECT_EQ(sink.count(EventKind::kFailure), 1u);
+  EXPECT_EQ(sink.count(EventKind::kHeal), 0u);
+}
+
+TEST(TraceSink, EventKindNamesRoundTrip) {
+  for (const auto kind :
+       {EventKind::kRequestArrive, EventKind::kQueueEnter,
+        EventKind::kQueueLeave, EventKind::kServiceStart,
+        EventKind::kServiceEnd, EventKind::kRebuildIssue,
+        EventKind::kRebuildComplete, EventKind::kFailure, EventKind::kHeal,
+        EventKind::kRetry}) {
+    auto parsed = event_kind_from(to_string(kind));
+    ASSERT_TRUE(parsed.is_ok()) << to_string(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(event_kind_from("no_such_event").is_ok());
+}
+
+TEST(TraceSink, JsonlRoundTripsExactly) {
+  TraceSink sink;
+  TraceEvent ev;
+  ev.kind = EventKind::kServiceStart;
+  ev.t_s = 0.123456789012345678;  // exercises %.17g fidelity
+  ev.dur_s = 1.0 / 3.0;
+  ev.disk = 4;
+  ev.stripe = 7;
+  ev.request_id = 42;
+  ev.slot = 1234567890123LL;
+  ev.rebuild = true;
+  ev.write = true;
+  sink.record(ev);
+  sink.record(make_event(EventKind::kHeal, 2.5));  // all defaults
+
+  std::ostringstream out;
+  ASSERT_TRUE(sink.write_jsonl(out).is_ok());
+  std::istringstream in(out.str());
+  auto parsed = TraceSink::parse_jsonl(in);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto& events = parsed.value().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kServiceStart);
+  EXPECT_EQ(events[0].t_s, ev.t_s);  // bit-exact, not just approximate
+  EXPECT_EQ(events[0].dur_s, ev.dur_s);
+  EXPECT_EQ(events[0].disk, 4);
+  EXPECT_EQ(events[0].stripe, 7);
+  EXPECT_EQ(events[0].request_id, 42);
+  EXPECT_EQ(events[0].slot, 1234567890123LL);
+  EXPECT_TRUE(events[0].rebuild);
+  EXPECT_TRUE(events[0].write);
+  EXPECT_EQ(events[1].kind, EventKind::kHeal);
+  EXPECT_EQ(events[1].disk, -1);
+  EXPECT_FALSE(events[1].rebuild);
+}
+
+TEST(TraceSink, JsonlOmitsDefaultFields) {
+  TraceSink sink;
+  sink.record(make_event(EventKind::kFailure, 1.0));
+  std::ostringstream out;
+  ASSERT_TRUE(sink.write_jsonl(out).is_ok());
+  EXPECT_EQ(out.str(), "{\"ev\":\"failure\",\"t\":1}\n");
+}
+
+TEST(TraceSink, ParseRejectsGarbage) {
+  std::istringstream in("{\"ev\":\"not_a_kind\",\"t\":1}\n");
+  EXPECT_FALSE(TraceSink::parse_jsonl(in).is_ok());
+  std::istringstream in2("not json at all\n");
+  EXPECT_FALSE(TraceSink::parse_jsonl(in2).is_ok());
+}
+
+TEST(TraceSink, ChromeTraceEmitsSlicesForServiceIntervals) {
+  TraceSink sink;
+  TraceEvent ev;
+  ev.kind = EventKind::kServiceStart;
+  ev.t_s = 1.5;
+  ev.dur_s = 0.25;
+  ev.disk = 2;
+  ev.slot = 9;
+  sink.record(ev);
+  ev.kind = EventKind::kServiceEnd;
+  ev.t_s = 1.75;
+  ev.dur_s = 0.0;
+  sink.record(ev);
+  sink.record(make_event(EventKind::kFailure, 0.5));
+
+  std::ostringstream out;
+  ASSERT_TRUE(sink.write_chrome_trace(out).is_ok());
+  const std::string json = out.str();
+  // One complete slice ("X") for the service interval, µs timestamps.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250000"), std::string::npos);
+  // tid is disk + 1 so non-disk events get track 0.
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  // kServiceEnd is folded into the slice, not emitted separately.
+  EXPECT_EQ(json.find("service_end"), std::string::npos);
+  // The failure becomes an instant event.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"failure\""), std::string::npos);
+}
+
+TEST(TraceSink, ClearResets) {
+  TraceSink sink;
+  sink.record(make_event(EventKind::kRetry, 1.0));
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.count(EventKind::kRetry), 0u);
+}
+
+}  // namespace
+}  // namespace sma::obs

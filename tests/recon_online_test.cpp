@@ -1,7 +1,12 @@
 #include "recon/online.hpp"
 
+#include <map>
+
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace_sink.hpp"
 #include "recon/executor.hpp"
 
 namespace sma::recon {
@@ -325,6 +330,99 @@ TEST(Online, TransientErrorsRetriedInPlace) {
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   EXPECT_GT(report.value().io_retries, 0u);
   EXPECT_EQ(report.value().user_reads + report.value().user_writes, 200u);
+}
+
+// The observability layer must be a pure observer: running the same
+// simulation with full tracing + metrics attached has to produce a
+// bit-identical OnlineReport to the null-observer run.
+TEST(Online, TracingOnAndOffYieldIdenticalReports) {
+  auto run = [](obs::Observer* observer) {
+    auto acfg = cfg_for(layout::Architecture::mirror_with_parity(3, true));
+    acfg.fault.transient_read_error_p = 0.02;  // exercise the retry path
+    acfg.fault.seed = 11;
+    array::DiskArray arr(acfg);
+    arr.initialize();
+    arr.fail_physical(0);
+    OnlineConfig cfg;
+    cfg.max_user_reads = 150;
+    cfg.user_read_rate_hz = 30;
+    cfg.write_fraction = 0.2;
+    cfg.second_failure_at_s = 1.0;
+    cfg.second_failure_disk = 3;
+    cfg.seed = 42;
+    cfg.observer = observer;
+    return run_online_reconstruction(arr, cfg);
+  };
+
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  metrics.set_sample_interval(0.25);
+  obs::Observer ob;
+  ob.trace = &trace;
+  ob.metrics = &metrics;
+
+  auto off = run(nullptr);
+  auto on = run(&ob);
+  ASSERT_TRUE(off.is_ok()) << off.status().to_string();
+  ASSERT_TRUE(on.is_ok()) << on.status().to_string();
+
+  const auto& a = off.value();
+  const auto& b = on.value();
+  EXPECT_EQ(a.rebuild_done_s, b.rebuild_done_s);  // bit-exact on purpose
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
+  EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.max_latency_s, b.max_latency_s);
+  EXPECT_EQ(a.mean_degraded_latency_s, b.mean_degraded_latency_s);
+  EXPECT_EQ(a.mean_write_latency_s, b.mean_write_latency_s);
+  EXPECT_EQ(a.p99_write_latency_s, b.p99_write_latency_s);
+  EXPECT_EQ(a.user_reads, b.user_reads);
+  EXPECT_EQ(a.user_writes, b.user_writes);
+  EXPECT_EQ(a.degraded_reads, b.degraded_reads);
+  EXPECT_EQ(a.io_retries, b.io_retries);
+  EXPECT_EQ(a.io_failures, b.io_failures);
+  EXPECT_EQ(a.second_failure_injected, b.second_failure_injected);
+
+  // And the instrumented run actually observed the simulation.
+  EXPECT_GT(trace.count(obs::EventKind::kRequestArrive), 0u);
+  EXPECT_GT(trace.count(obs::EventKind::kServiceStart), 0u);
+  EXPECT_GT(trace.count(obs::EventKind::kRebuildIssue), 0u);
+  EXPECT_GT(trace.count(obs::EventKind::kRebuildComplete), 0u);
+  EXPECT_EQ(trace.count(obs::EventKind::kFailure), 2u);  // initial + injected
+  EXPECT_GT(trace.count(obs::EventKind::kRetry), 0u);
+  EXPECT_FALSE(metrics.timeline().empty());
+  EXPECT_EQ(metrics.probe_count(), 0u);  // probes cleared before returning
+}
+
+// Service spans recorded by the disks must tile each disk's busy time:
+// per-disk spans are non-overlapping and ordered.
+TEST(Online, ServiceSpansAreOrderedPerDisk) {
+  array::DiskArray arr(cfg_for(layout::Architecture::mirror(3, true)));
+  arr.initialize();
+  arr.fail_physical(0);
+
+  obs::TraceSink trace;
+  obs::Observer ob;
+  ob.trace = &trace;
+  OnlineConfig cfg;
+  cfg.max_user_reads = 80;
+  cfg.observer = &ob;
+  auto report = run_online_reconstruction(arr, cfg);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+
+  std::map<int, double> last_end;
+  std::size_t spans = 0;
+  for (const auto& ev : trace.events()) {
+    if (ev.kind != obs::EventKind::kServiceStart) continue;
+    ++spans;
+    ASSERT_GE(ev.disk, 0);
+    EXPECT_GT(ev.dur_s, 0.0);
+    auto [it, fresh] = last_end.try_emplace(ev.disk, 0.0);
+    if (!fresh) EXPECT_GE(ev.t_s, it->second);
+    it->second = ev.t_s + ev.dur_s;
+  }
+  EXPECT_GT(spans, 0u);
 }
 
 }  // namespace

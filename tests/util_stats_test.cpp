@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace sma {
 namespace {
@@ -92,6 +97,46 @@ TEST(SampleSet, AddAfterQueryStillSorts) {
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
   s.add(0.5);
   EXPECT_DOUBLE_EQ(s.min(), 0.5);  // re-sorts after mutation
+}
+
+TEST(SampleSet, SamplesAreAscendingRegardlessOfInsertionOrder) {
+  SampleSet s;
+  for (const double x : {3.0, 1.0, 2.0, 2.0, 0.5}) s.add(x);
+  const auto& v = s.samples();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(v.front(), 0.5);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+}
+
+// Regression: percentile()/min()/max() used to sort lazily under a
+// `mutable` member, so two threads reading a shared (no longer
+// mutated) set raced on the hidden sort. Accessors are now genuinely
+// const; this test documents the contract and trips TSan if the
+// mutation ever comes back.
+TEST(SampleSet, ConcurrentConstReadsAreSafe) {
+  SampleSet s;
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i)
+    s.add(rng.next_double());
+
+  const auto& shared = s;
+  std::vector<std::thread> readers;
+  std::vector<double> results(4, 0.0);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&shared, &results, t] {
+      double acc = 0.0;
+      for (int i = 0; i < 100; ++i) {
+        acc += shared.percentile(25.0 + t);
+        acc += shared.min() + shared.max() + shared.median();
+      }
+      results[static_cast<std::size_t>(t)] = acc;
+    });
+  }
+  for (auto& th : readers) th.join();
+  // Same inputs, deterministic outputs: readers at the same percentile
+  // would agree; here just require everything finished sane.
+  for (const double r : results) EXPECT_GT(r, 0.0);
 }
 
 TEST(Histogram, BucketsAndOverflow) {

@@ -7,6 +7,8 @@
 //   smactl plan      --n=3 [--parity] [--traditional] --fail=0,6
 //   smactl rebuild   --n=5 [--parity] [--traditional] --fail=2 [--stacks=2]
 //   smactl online    --n=5 [--traditional] [--rate=30] [--reads=500]
+//   smactl trace     --n=5 [--traditional] [--jsonl=F] [--chrome=F]
+//                    [--timeline-csv=F] [--interval=0.5]
 //   smactl scrub     --n=5 [--parity] [--errors=10] [--seed=1]
 //   smactl write     --n=5 [--parity] [--traditional] [--requests=1000]
 //   smactl table1    [--n-min=3] [--n-max=7]
@@ -21,6 +23,9 @@
 
 #include "core/trace.hpp"
 #include "core/volume.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace_sink.hpp"
 #include "layout/properties.hpp"
 #include "multimirror/multi_array.hpp"
 #include "recon/analytic.hpp"
@@ -48,6 +53,10 @@ int usage(const char* error = nullptr) {
                "  plan          reconstruction read plan for failed disks\n"
                "  rebuild       execute + verify a rebuild, report throughput\n"
                "  online        on-line rebuild with user reads\n"
+               "  trace         online rebuild with tracing: event stream\n"
+               "                (--jsonl=<f>), Perfetto (--chrome=<f>),\n"
+               "                per-disk timelines (--timeline-csv=<f>,\n"
+               "                --interval=<s>)\n"
                "  scrub         inject latent errors, scrub, report repairs\n"
                "  write         run the Fig. 10 write workload\n"
                "  table1        regenerate Table I\n"
@@ -208,6 +217,62 @@ int cmd_online(const Flags& flags) {
               cfg.arch.name().c_str(), r.rebuild_done_s, r.user_reads,
               r.degraded_reads, r.mean_latency_s * 1e3, r.p50_latency_s * 1e3,
               r.p95_latency_s * 1e3, r.p99_latency_s * 1e3);
+  return 0;
+}
+
+int cmd_trace(const Flags& flags) {
+  auto cfg = array_cfg_from(flags);
+  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  arr.fail_physical(flags.get_int("fail", 0));
+
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  metrics.set_sample_interval(flags.get_double("interval", 0.5));
+  obs::Observer ob;
+  ob.trace = &trace;
+  ob.metrics = &metrics;
+
+  recon::OnlineConfig ocfg;
+  ocfg.user_read_rate_hz = flags.get_double("rate", 30.0);
+  ocfg.max_user_reads = flags.get_int("reads", 500);
+  ocfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  ocfg.observer = &ob;
+  auto report = recon::run_online_reconstruction(arr, ocfg);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "trace: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("%s: rebuild done at %.2f s; %zu events "
+              "(%zu service spans, %zu queue enters, %zu rebuild I/Os), "
+              "%zu timeline samples x %zu columns\n",
+              cfg.arch.name().c_str(), report.value().rebuild_done_s,
+              trace.size(), trace.count(obs::EventKind::kServiceStart),
+              trace.count(obs::EventKind::kQueueEnter),
+              trace.count(obs::EventKind::kRebuildIssue),
+              metrics.timeline().size(), metrics.columns().size());
+  for (const auto& [path, write] :
+       {std::pair<std::string, int>{flags.get("jsonl", ""), 0},
+        {flags.get("chrome", ""), 1}}) {
+    if (path.empty()) continue;
+    const Status st = write == 0 ? trace.write_jsonl_file(path)
+                                 : trace.write_chrome_trace_file(path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  const std::string csv = flags.get("timeline-csv", "");
+  if (!csv.empty()) {
+    if (!metrics.write_timeline_csv(csv)) {
+      std::fprintf(stderr, "trace: failed to write %s\n", csv.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", csv.c_str());
+  }
   return 0;
 }
 
@@ -442,6 +507,7 @@ int main(int argc, char** argv) {
   else if (cmd == "plan") rc = cmd_plan(flags);
   else if (cmd == "rebuild") rc = cmd_rebuild(flags);
   else if (cmd == "online") rc = cmd_online(flags);
+  else if (cmd == "trace") rc = cmd_trace(flags);
   else if (cmd == "scrub") rc = cmd_scrub(flags);
   else if (cmd == "write") rc = cmd_write(flags);
   else if (cmd == "table1") rc = cmd_table1(flags);
