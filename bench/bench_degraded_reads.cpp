@@ -22,8 +22,8 @@ int main() {
       arr.initialize();
       arr.fail_physical(0);
       workload::DegradedReadConfig cfg;
-      cfg.read_count = 2000;
-      cfg.seed = 4242;  // identical request stream for both arrangements
+      cfg.arrival.max_requests = 2000;
+      cfg.arrival.seed = 4242;  // identical request stream for both arrangements
       auto report = workload::run_degraded_reads(arr, cfg);
       if (!report.is_ok()) {
         std::fprintf(stderr, "degraded reads failed: %s\n",

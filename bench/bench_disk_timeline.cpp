@@ -42,9 +42,9 @@ int main() {
     ob.metrics = &metrics;
 
     recon::OnlineConfig cfg;
-    cfg.user_read_rate_hz = 30.0;
-    cfg.max_user_reads = 600;
-    cfg.seed = 2012;
+    cfg.arrival.rate_hz = 30.0;
+    cfg.arrival.max_requests = 600;
+    cfg.arrival.seed = 2012;
     cfg.observer = &ob;
     auto report = recon::run_online_reconstruction(arr, cfg);
     if (!report.is_ok()) {

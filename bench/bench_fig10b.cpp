@@ -20,8 +20,8 @@ int main() {
       array::DiskArray arr(bench::experiment_config(arch, /*stacks=*/4));
       arr.initialize();
       workload::WriteWorkloadConfig wcfg;
-      wcfg.request_count = 1000;
-      wcfg.seed = 777;
+      wcfg.arrival.max_requests = 1000;
+      wcfg.arrival.seed = 777;
       const auto reqs = workload::generate_large_writes(arr, wcfg);
       mbps[shifted ? 1 : 0] =
           workload::run_write_workload(arr, reqs).write_throughput_mbps();

@@ -22,9 +22,9 @@ int main() {
       arr.initialize();
       arr.fail_physical(0);
       recon::OnlineConfig cfg;
-      cfg.user_read_rate_hz = 30.0;
-      cfg.max_user_reads = 600;
-      cfg.seed = 2012;
+      cfg.arrival.rate_hz = 30.0;
+      cfg.arrival.max_requests = 600;
+      cfg.arrival.seed = 2012;
       auto report = recon::run_online_reconstruction(arr, cfg);
       if (!report.is_ok()) {
         std::fprintf(stderr, "online recon failed: %s\n",
@@ -58,10 +58,10 @@ int main() {
       arr.initialize();
       arr.fail_physical(0);
       recon::OnlineConfig cfg;
-      cfg.user_read_rate_hz = 30.0;
-      cfg.max_user_reads = 600;
-      cfg.write_fraction = 0.3;
-      cfg.seed = 2012;
+      cfg.arrival.rate_hz = 30.0;
+      cfg.arrival.max_requests = 600;
+      cfg.mix.write_fraction = 0.3;
+      cfg.arrival.seed = 2012;
       auto report = recon::run_online_reconstruction(arr, cfg);
       if (!report.is_ok()) {
         std::fprintf(stderr, "online recon failed: %s\n",
@@ -95,9 +95,9 @@ int main() {
         arr.initialize();
         arr.fail_physical(0);
         recon::OnlineConfig cfg;
-        cfg.user_read_rate_hz = 30.0;
-        cfg.max_user_reads = 400;
-        cfg.seed = 2012;
+        cfg.arrival.rate_hz = 30.0;
+        cfg.arrival.max_requests = 400;
+        cfg.arrival.seed = 2012;
         if (inject) {
           cfg.second_failure_at_s = 1.0;
           cfg.second_failure_disk = n;  // first mirror disk

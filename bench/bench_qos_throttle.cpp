@@ -1,0 +1,96 @@
+// QoS-aware serving: rebuild scheduling policies under contending user
+// load. For each arrangement the online rebuild runs under strict user
+// priority (no cap — the paper's model), a fixed in-flight rebuild
+// budget, and the adaptive feedback throttle that holds foreground read
+// p99 at a target while rebuilding as fast as the SLO allows. The
+// shifted arrangement spreads rebuild I/O across all disks, so at the
+// same p99 target its controller can keep a much larger budget than the
+// traditional arrangement — the rebuild finishes several times sooner
+// at equal user-visible latency. Extra rows exercise the bursty (MMPP)
+// and closed-loop arrival processes under the adaptive policy.
+#include "common.hpp"
+#include "recon/online.hpp"
+#include "workload/arrival.hpp"
+#include "workload/qos.hpp"
+
+namespace {
+
+// Foreground read p99 SLO. One 4 MB element read costs ~45 ms of disk
+// time, so ~80 ms is the un-contended p50; 120 ms is reachable by
+// throttling the rebuild but violated when rebuild I/O queues ahead of
+// user reads — the regime where the controller has a real trade-off.
+constexpr double kP99TargetS = 0.120;
+constexpr int kFixedBudget = 2;
+
+struct Cell {
+  const char* arrival;
+  const char* policy;
+  double rate_hz;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sma;
+
+  Table table("QoS throttling — rebuild time vs foreground p99 (n = 5)");
+  table.set_header({"n", "arrangement", "arrival", "rate (req/s)", "policy",
+                    "rebuild done (s)", "read p50 (ms)", "read p99 (ms)",
+                    "read p99.9 (ms)", "SLO viol (%)", "final budget",
+                    "adjustments"});
+
+  const Cell cells[] = {
+      {"poisson", "strict", 20.0},   {"poisson", "fixed", 20.0},
+      {"poisson", "adaptive", 20.0}, {"poisson", "strict", 40.0},
+      {"poisson", "fixed", 40.0},    {"poisson", "adaptive", 40.0},
+      {"bursty", "adaptive", 10.0},  {"closed_loop", "adaptive", 0.0},
+  };
+
+  const int n = 5;
+  for (const Cell& cell : cells) {
+    for (const bool shifted : {false, true}) {
+      const auto arch = layout::Architecture::mirror(n, shifted);
+      array::DiskArray arr(bench::experiment_config(arch, /*stacks=*/4));
+      arr.initialize();
+      arr.fail_physical(0);
+
+      recon::OnlineConfig cfg;
+      auto kind = workload::arrival_kind_from(cell.arrival);
+      auto policy = workload::rebuild_policy_from(cell.policy);
+      if (!kind.is_ok() || !policy.is_ok()) return 1;
+      cfg.arrival.kind = kind.value();
+      cfg.arrival.rate_hz = cell.rate_hz > 0 ? cell.rate_hz : 40.0;
+      cfg.arrival.max_requests = 600;
+      cfg.arrival.seed = 2012;
+      cfg.arrival.clients = 8;
+      cfg.arrival.think_time_s = 0.05;
+      cfg.arrival.burst_rate_hz = 200.0;
+      cfg.arrival.mean_burst_s = 0.5;
+      cfg.arrival.mean_idle_s = 1.5;
+      cfg.qos.policy = policy.value();
+      cfg.qos.p99_target_s = kP99TargetS;
+      if (policy.value() == workload::RebuildPolicy::kFixedBudget)
+        cfg.qos.rebuild_budget = kFixedBudget;
+
+      auto report = recon::run_online_reconstruction(arr, cfg);
+      if (!report.is_ok()) {
+        std::fprintf(stderr, "qos throttle failed: %s\n",
+                     report.status().to_string().c_str());
+        return 1;
+      }
+      const auto& r = report.value();
+      table.add_row({Table::num(n),
+                     std::string(shifted ? "shifted" : "traditional"),
+                     std::string(cell.arrival), Table::num(cell.rate_hz, 0),
+                     std::string(cell.policy), Table::num(r.rebuild_done_s, 2),
+                     Table::num(r.p50_latency_s * 1e3, 1),
+                     Table::num(r.p99_latency_s * 1e3, 1),
+                     Table::num(r.p999_latency_s * 1e3, 1),
+                     Table::num(r.slo_violation_pct, 2),
+                     Table::num(r.final_rebuild_budget),
+                     Table::num(r.throttle_adjustments)});
+    }
+  }
+  bench::emit(table, "sma_qos_throttle.csv");
+  return 0;
+}

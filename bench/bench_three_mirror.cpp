@@ -128,9 +128,9 @@ int main() {
     arr.initialize();
     arr.fail_physical(0);
     mm::MmOnlineConfig ocfg;
-    ocfg.user_read_rate_hz = 30;
-    ocfg.max_user_reads = 500;
-    ocfg.seed = 2012;
+    ocfg.arrival.rate_hz = 30;
+    ocfg.arrival.max_requests = 500;
+    ocfg.arrival.seed = 2012;
     auto report = mm::run_online_reconstruction(arr, ocfg);
     if (!report.is_ok()) {
       std::fprintf(stderr, "mm online failed: %s\n",

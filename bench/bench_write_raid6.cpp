@@ -18,8 +18,8 @@ int main() {
 
   for (int n = 3; n <= 7; ++n) {
     workload::WriteWorkloadConfig wcfg;
-    wcfg.request_count = 400;
-    wcfg.seed = 20120901;
+    wcfg.arrival.max_requests = 400;
+    wcfg.arrival.seed = 20120901;
 
     double mirror_mbps = 0;
     {

@@ -34,9 +34,9 @@ int main(int argc, char** argv) {
     arr.fail_physical(0);
 
     recon::OnlineConfig ocfg;
-    ocfg.user_read_rate_hz = rate;
-    ocfg.max_user_reads = 800;
-    ocfg.seed = 99;
+    ocfg.arrival.rate_hz = rate;
+    ocfg.arrival.max_requests = 800;
+    ocfg.arrival.seed = 99;
     auto report = recon::run_online_reconstruction(arr, ocfg);
     if (!report.is_ok()) {
       std::fprintf(stderr, "online recon failed: %s\n",

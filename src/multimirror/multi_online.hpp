@@ -3,28 +3,76 @@
 // arrive; degraded reads pick the least-loaded surviving copy. The
 // R >= 2 counterpart of recon::run_online_reconstruction, supporting
 // up to R simultaneous failures.
+//
+// The serving side shares the QoS engine surface: arrivals come from a
+// workload::ArrivalConfig (read-only stream — this simulator models no
+// writes, so MixConfig does not apply and trace write flags replay as
+// reads) and rebuild dispatch is gated by a workload::QosConfig policy,
+// exactly as in the single-mirror engine. See docs/SERVING.md.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "multimirror/multi_array.hpp"
+#include "obs/observer.hpp"
 #include "util/status.hpp"
+#include "workload/arrival.hpp"
+#include "workload/qos.hpp"
 
 namespace sma::mm {
 
 struct MmOnlineConfig {
-  double user_read_rate_hz = 40.0;
-  int max_user_reads = 500;
-  std::uint64_t seed = 7;
+  /// Shared arrival surface (defaults: Poisson 40 req/s, 500 requests,
+  /// seed 7 — the historical values).
+  workload::ArrivalConfig arrival;
+  /// Rebuild scheduling policy and foreground SLO target; the default
+  /// strict priority reproduces the pre-QoS engine bit-identically.
+  workload::QosConfig qos;
+  /// Optional observability hooks (borrowed, caller-owned; see
+  /// obs::Attach for the uniform semantics): failure markers, request
+  /// arrivals, rebuild issue/complete, throttle decisions, and per-disk
+  /// service spans.
+  obs::Attach observer;
+
+  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
+  /// \deprecated Use arrival.rate_hz. Overrides when set.
+  std::optional<double> user_read_rate_hz;
+  /// \deprecated Use arrival.max_requests. Overrides when set.
+  std::optional<int> max_user_reads;
+  /// \deprecated Use arrival.seed. Overrides when set.
+  std::optional<std::uint64_t> seed;
+
+  workload::ArrivalConfig effective_arrival() const {
+    workload::ArrivalConfig a = arrival;
+    if (user_read_rate_hz) a.rate_hz = *user_read_rate_hz;
+    if (max_user_reads) a.max_requests = *max_user_reads;
+    if (seed) a.seed = *seed;
+    return a;
+  }
 };
 
 struct MmOnlineReport {
   double rebuild_done_s = 0.0;
+  /// Reads issued before the arrival cutoff; user_reads == issued.
+  /// A read completes unless every copy of its element is failed (it
+  /// is then dropped at issue), so requests_completed can lag issued.
+  /// Latency/SLO statistics cover completed reads only.
   std::size_t user_reads = 0;
+  std::size_t requests_issued = 0;
+  std::size_t requests_completed = 0;
   std::size_t degraded_reads = 0;
   double mean_latency_s = 0.0;
   double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
   double p99_latency_s = 0.0;
+  double p999_latency_s = 0.0;
+
+  // --- QoS accounting (zero unless qos sets a target / policy) ---------
+  std::size_t slo_violations = 0;
+  double slo_violation_pct = 0.0;
+  int final_rebuild_budget = -1;  // -1: no throttling policy ran
+  int throttle_adjustments = 0;
 };
 
 /// Timing-only: contents untouched; pair with

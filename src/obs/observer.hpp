@@ -40,4 +40,27 @@ struct Observer {
   }
 };
 
+/// The one observability attachment point every run config exposes.
+///
+/// Semantics, identical across all configs that carry an Attach:
+/// the observer is borrowed and caller-owned; the run instruments
+/// itself only for the duration of the call and detaches on every
+/// return path; probes registered by the run are cleared before
+/// returning. Null (the default) is the zero-overhead path — one
+/// predictable branch per site — and the run's report is bit-identical
+/// either way. Assignable straight from an `Observer*`, so
+/// `cfg.observer = &ob;` keeps working across the config surface.
+struct Attach {
+  Observer* observer = nullptr;
+
+  Attach() = default;
+  Attach(Observer* ob) : observer(ob) {}  // NOLINT(google-explicit-constructor)
+
+  /// The observer iff set and active, else null — the single test every
+  /// instrumented run uses to pick the enabled path.
+  Observer* get() const {
+    return observer != nullptr && observer->active() ? observer : nullptr;
+  }
+};
+
 }  // namespace sma::obs

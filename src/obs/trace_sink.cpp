@@ -26,6 +26,7 @@ constexpr struct {
     {EventKind::kFailure, "failure"},
     {EventKind::kHeal, "heal"},
     {EventKind::kRetry, "retry"},
+    {EventKind::kThrottle, "throttle"},
 };
 
 /// Shortest-exact double literal: %.17g round-trips every finite IEEE

@@ -40,6 +40,8 @@ enum class EventKind : std::uint8_t {
   kFailure,          // a disk died (configured, injected, or fail-stop)
   kHeal,             // a rebuilt disk returned to service
   kRetry,            // transient I/O error, op re-submitted
+  kThrottle,         // rebuild-throttle control decision (slot = new
+                     // budget, dur_s = the window's foreground p99)
 };
 
 /// Stable lowercase name ("request_arrive", "service_start", ...).

@@ -319,9 +319,7 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
   ReconReport report;
   if (failed_physical.empty()) return report;
 
-  obs::Observer* const ob =
-      opts.observer != nullptr && opts.observer->active() ? opts.observer
-                                                          : nullptr;
+  obs::Observer* const ob = opts.observer.get();
   ObsGuard obs_guard;
   if (ob != nullptr) {
     arr.set_observer(ob);

@@ -38,12 +38,11 @@ struct ReconOptions {
   /// write. Shortens total_makespan_s; read_makespan_s and the access
   /// counts are unaffected.
   bool pipelined = false;
-  /// Optional observability hooks (borrowed, caller-owned). When set,
-  /// the timing phase emits rebuild batch issue/complete events, every
-  /// disk emits its service spans, and each healed disk emits kHeal at
-  /// the rebuild end. Detached before returning. Null (default):
-  /// zero-overhead, the ReconReport is bit-identical either way.
-  obs::Observer* observer = nullptr;
+  /// Optional observability hooks (borrowed, caller-owned; see
+  /// obs::Attach for the uniform semantics). When set, the timing phase
+  /// emits rebuild batch issue/complete events, every disk emits its
+  /// service spans, and each healed disk emits kHeal at the rebuild end.
+  obs::Attach observer;
 };
 
 struct ReconReport {

@@ -64,9 +64,22 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     return invalid_argument(
         "online reconstruction expects exactly one failed disk, got " +
         std::to_string(initial_failed.size()));
-  if (cfg.user_read_rate_hz <= 0 || cfg.max_user_reads < 0 ||
-      cfg.write_fraction < 0 || cfg.write_fraction > 1)
-    return invalid_argument("invalid online workload parameters");
+  const workload::ArrivalConfig acfg = cfg.effective_arrival();
+  const workload::MixConfig mcfg = cfg.effective_mix();
+  if (mcfg.write_fraction < 0 || mcfg.write_fraction > 1)
+    return invalid_argument("write_fraction must lie in [0, 1]");
+  if (cfg.qos.rebuild_budget < 0 || cfg.qos.min_budget < 0)
+    return invalid_argument("rebuild budgets must be non-negative");
+  if (cfg.qos.policy == workload::RebuildPolicy::kAdaptive &&
+      (cfg.qos.p99_target_s <= 0 || cfg.qos.control_interval_s <= 0 ||
+       cfg.qos.raise_headroom <= 0 || cfg.qos.raise_headroom > 1))
+    return invalid_argument(
+        "adaptive throttle needs p99_target_s > 0, control_interval_s > 0 "
+        "and raise_headroom in (0, 1]");
+  auto proc_r = workload::make_arrival_process(acfg);
+  if (!proc_r.is_ok()) return proc_r.status();
+  const std::unique_ptr<workload::ArrivalProcess> proc =
+      std::move(proc_r).take();
   const bool inject_second =
       cfg.second_failure_at_s >= 0 && cfg.second_failure_disk >= 0;
   if (inject_second) {
@@ -81,15 +94,18 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
 
   arr.reset_timelines();
   sim::Simulation sim;
-  Rng rng(cfg.seed);
+  Rng rng(acfg.seed);
+  workload::RebuildThrottle throttle(cfg.qos, arr.total_disks());
+  const double slo_target = cfg.qos.p99_target_s;
+  // Foreground read latencies completed since the last control tick
+  // (adaptive policy only).
+  std::vector<double> window;
 
   // Observability (null = disabled, the default): the array and the
   // event kernel get the observer for service spans and metric cadence;
   // everything else is emitted inline below. The guard detaches on
   // every return path.
-  obs::Observer* const ob =
-      cfg.observer != nullptr && cfg.observer->active() ? cfg.observer
-                                                        : nullptr;
+  obs::Observer* const ob = cfg.observer.get();
   obs::MetricsRegistry* const metrics = ob != nullptr ? ob->metrics : nullptr;
   ObsGuard obs_guard;
   const std::size_t ndisks = static_cast<std::size_t>(arr.total_disks());
@@ -155,6 +171,13 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
                            [&retries_seen, d](double, double) {
                              return retries_seen[d];
                            });
+        // Only with a throttling policy, so the columns of existing
+        // timeline experiments stay exactly disks x 5.
+        if (throttle.enabled())
+          metrics->add_probe(prefix + "rebuild_budget",
+                             [&throttle](double, double) {
+                               return static_cast<double>(throttle.budget());
+                             });
       }
     }
   }
@@ -199,25 +222,52 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   SampleSet write_latencies;
   std::vector<Request> requests;
 
-  // Retire one job — user piece (latency accounting on the last piece)
-  // or rebuild read (stripe bookkeeping). Shared by the success path and
-  // the abandoned-op path, so a failed op still lets its request finish.
-  // `disk` is the serving disk (trace labeling only).
+  bool injection_failed = false;
+  std::function<void()> arrive;                // defined below
+  std::function<void(int)> handle_disk_death;  // defined below dispatch
+  std::function<void(int)> dispatch;           // defined below
+
+  // A throttled rebuild job may be waiting on an idle disk for budget;
+  // whenever budget frees up or rises, hand it out. No-op (and never
+  // reached) under strict priority.
+  auto kick_waiting = [&] {
+    if (!throttle.enabled()) return;
+    for (int d = 0; d < arr.total_disks(); ++d) {
+      if (!throttle.allow()) return;
+      const DiskQueue& q = queues[static_cast<std::size_t>(d)];
+      if (!q.busy && !q.rebuild.empty()) dispatch(d);
+    }
+  };
+
+  // A user request fully completed: latency + SLO accounting (over
+  // completed requests, per the report contract) and, closed loop, the
+  // think-time re-arm of the issuing client.
+  auto finish_request = [&](Request& rq) {
+    const double latency = sim.now() - rq.arrival;
+    ++report.requests_completed;
+    if (rq.is_write) {
+      write_latencies.add(latency);
+    } else {
+      read_latencies.add(latency);
+      if (rq.degraded) degraded_latencies.add(latency);
+      if (slo_target > 0.0 && latency > slo_target) ++report.slo_violations;
+      if (throttle.adaptive()) window.push_back(latency);
+    }
+    if (proc->closed_loop()) sim.schedule_in(proc->think_delay(rng), arrive);
+  };
+
+  // Retire one job — user piece (request accounting on the last piece)
+  // or rebuild read (stripe bookkeeping + budget release). Shared by the
+  // success path and the abandoned-op path, so a failed op still lets
+  // its request finish. `disk` is the serving disk (trace labeling only).
   auto complete_job = [&](const Job& job, int disk) {
     if (job.request_id >= 0) {
       Request& rq = requests[static_cast<std::size_t>(job.request_id)];
-      if (--rq.pieces_left == 0) {
-        const double latency = sim.now() - rq.arrival;
-        if (rq.is_write) {
-          write_latencies.add(latency);
-        } else {
-          read_latencies.add(latency);
-          if (rq.degraded) degraded_latencies.add(latency);
-        }
-      }
+      if (--rq.pieces_left == 0) finish_request(rq);
     } else {
       --stripe_pending[static_cast<std::size_t>(job.stripe)];
       --rebuild_remaining;
+      throttle.on_complete();
       if (ob != nullptr) {
         obs::TraceEvent ev;
         ev.kind = obs::EventKind::kRebuildComplete;
@@ -239,12 +289,11 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
           ob->emit(done);
         }
       }
+      kick_waiting();
     }
   };
 
-  bool injection_failed = false;
-  std::function<void(int)> handle_disk_death;  // defined below dispatch
-  std::function<void(int)> dispatch = [&](int disk) {
+  dispatch = [&](int disk) {
     if (arr.physical(disk).failed()) return;
     auto& q = queues[static_cast<std::size_t>(disk)];
     if (q.busy) return;
@@ -252,9 +301,10 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     if (!q.user.empty()) {
       job = q.user.front();
       q.user.pop_front();
-    } else if (!q.rebuild.empty()) {
+    } else if (!q.rebuild.empty() && throttle.allow()) {
       job = q.rebuild.front();
       q.rebuild.pop_front();
+      throttle.on_issue();
     } else {
       return;
     }
@@ -280,10 +330,12 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
         // front so the death handling replans / reroutes it with the
         // rest of the queue.
         q.busy = false;
-        if (job.request_id >= 0)
+        if (job.request_id >= 0) {
           q.user.push_front(job);
-        else
+        } else {
+          throttle.on_complete();  // left service without completing
           q.rebuild.push_front(job);
+        }
         ++report.fail_stops_absorbed;
         handle_disk_death(disk);
         return;
@@ -313,10 +365,12 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
             if (metrics != nullptr)
               retries_seen[static_cast<std::size_t>(disk)] += 1.0;
           }
-          if (job.request_id >= 0)
+          if (job.request_id >= 0) {
             dq.user.push_front(job);
-          else
+          } else {
+            throttle.on_complete();  // re-queued: budget frees meanwhile
             dq.rebuild.push_front(job);
+          }
         } else {
           ++report.io_failures;
           if (ob != nullptr) ob->count("online.io_failures");
@@ -396,10 +450,12 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     return out;
   };
 
-  // Poisson user-request arrivals over random data elements.
+  // User-request injection over random data elements, paced by the
+  // arrival process (open loop schedules the successor; closed loop
+  // re-arms from finish_request).
   int injected = 0;
-  std::function<void()> arrive = [&] {
-    if (injected >= cfg.max_user_reads) return;
+  arrive = [&] {
+    if (injected >= acfg.max_requests) return;
     ++injected;
     const int data_disk =
         static_cast<int>(rng.next_below(static_cast<std::uint64_t>(arch.n())));
@@ -407,10 +463,15 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
         rng.next_below(static_cast<std::uint64_t>(arr.stripes())));
     const int row = static_cast<int>(
         rng.next_below(static_cast<std::uint64_t>(arch.rows())));
-    const bool is_write = rng.next_bool(cfg.write_fraction);
+    // The mix draw happens unconditionally so the default open-loop
+    // stream consumes the RNG exactly like the pre-QoS engine.
+    const bool mix_write = rng.next_bool(mcfg.write_fraction);
+    const int forced = proc->write_override();
+    const bool is_write = forced < 0 ? mix_write : forced > 0;
 
     const int rid = static_cast<int>(requests.size());
     requests.push_back({sim.now(), 0, false, is_write});
+    ++report.requests_issued;
     if (ob != nullptr) {
       obs::TraceEvent ev;
       ev.kind = obs::EventKind::kRequestArrive;
@@ -445,9 +506,9 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       bool degraded = false;
       auto pieces = read_pieces(data_disk, stripe, row, degraded);
       if (pieces.empty()) {
-        // Unreadable under the current failures; count as an immediate
-        // (failed) read with zero pieces. Should not happen within the
-        // architecture's tolerance.
+        // Unreadable under the current failures; the issued request dies
+        // without completing (requests_issued > requests_completed).
+        // Should not happen within the architecture's tolerance.
         requests.pop_back();
       } else {
         if (degraded) {
@@ -463,7 +524,10 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
         }
       }
     }
-    sim.schedule_in(rng.next_exponential(1.0 / cfg.user_read_rate_hz), arrive);
+    if (!proc->closed_loop()) {
+      const double delay = proc->next_delay(rng);
+      if (delay >= 0.0) sim.schedule_in(delay, arrive);
+    }
   };
 
   // Absorb the death of `dead` (already marked failed): drop every
@@ -501,16 +565,14 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       if (job.kind == disk::IoKind::kWrite) {
         // The copy this piece targeted is gone; the write completes
         // on the remaining copies.
-        if (--rq.pieces_left == 0)
-          write_latencies.add(sim.now() - rq.arrival);
+        if (--rq.pieces_left == 0) finish_request(rq);
         continue;
       }
       // Re-issue the read against surviving copies.
       bool degraded = false;
       auto pieces = read_pieces(job.data_disk, job.stripe, job.row, degraded);
       if (pieces.empty()) {
-        if (--rq.pieces_left == 0)
-          read_latencies.add(sim.now() - rq.arrival);
+        if (--rq.pieces_left == 0) finish_request(rq);
         continue;
       }
       rq.pieces_left += static_cast<int>(pieces.size()) - 1;
@@ -544,7 +606,40 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     });
   }
 
-  sim.schedule_at(0.0, arrive);
+  // Adaptive control loop: every interval, fold the window's foreground
+  // p99 into the budget. Ticks stop once the rebuild drains so they
+  // never keep the simulation alive on their own.
+  std::function<void()> control_tick = [&] {
+    if (rebuild_remaining == 0) return;
+    double window_p99 = -1.0;
+    if (!window.empty()) {
+      SampleSet s;
+      for (const double v : window) s.add(v);
+      window_p99 = s.percentile(99);
+      window.clear();
+    }
+    const int delta = throttle.control(window_p99);
+    if (delta != 0) ++report.throttle_adjustments;
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kThrottle;
+      ev.t_s = sim.now();
+      ev.slot = throttle.budget();
+      ev.dur_s = window_p99 >= 0.0 ? window_p99 : 0.0;
+      ev.rebuild = true;
+      ob->emit(ev);
+    }
+    if (delta > 0) kick_waiting();
+    sim.schedule_in(cfg.qos.control_interval_s, control_tick);
+  };
+  if (throttle.adaptive())
+    sim.schedule_in(cfg.qos.control_interval_s, control_tick);
+
+  if (proc->closed_loop()) {
+    for (int c = 0; c < proc->clients(); ++c) sim.schedule_at(0.0, arrive);
+  } else {
+    sim.schedule_at(proc->first_arrival_s(), arrive);
+  }
   for (int d = 0; d < arr.total_disks(); ++d)
     if (!arr.physical(d).failed()) sim.schedule_at(0.0, [&, d] { dispatch(d); });
   sim.run();
@@ -559,6 +654,7 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     report.p50_latency_s = read_latencies.percentile(50);
     report.p95_latency_s = read_latencies.percentile(95);
     report.p99_latency_s = read_latencies.percentile(99);
+    report.p999_latency_s = read_latencies.percentile(99.9);
     report.max_latency_s = read_latencies.max();
   }
   if (!degraded_latencies.empty())
@@ -567,6 +663,11 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     report.mean_write_latency_s = write_latencies.mean();
     report.p99_write_latency_s = write_latencies.percentile(99);
   }
+  if (slo_target > 0.0 && !read_latencies.empty())
+    report.slo_violation_pct = 100.0 *
+                               static_cast<double>(report.slo_violations) /
+                               static_cast<double>(read_latencies.count());
+  if (throttle.enabled()) report.final_rebuild_budget = throttle.budget();
   return report;
 }
 

@@ -1,12 +1,18 @@
-// On-line reconstruction: the array serves user read requests while the
+// On-line reconstruction: the array serves user requests while the
 // rebuild drains in the background (paper Section III / Holland [10]).
 //
-// User reads have priority over rebuild I/O on every disk queue. A read
-// that targets a failed disk is served "degraded": redirected to the
-// element's replica (mirror kinds). The experiment contrasts the
-// traditional arrangement — where rebuild traffic saturates the single
-// partner disk, queueing user reads behind it — with the shifted
-// arrangement, where rebuild load spreads across all disks.
+// The serving side is QoS-aware: user requests arrive through a
+// pluggable workload::ArrivalProcess (open-loop Poisson, closed-loop
+// with think time, bursty MMPP, trace replay), and how hard the rebuild
+// may push against them is a workload::QosConfig scheduling policy —
+// strict user priority (the default), a fixed in-flight rebuild budget,
+// or an adaptive feedback throttle that trades rebuild completion time
+// for a foreground p99 target. A read that targets a failed disk is
+// served "degraded": redirected to the element's replica (mirror
+// kinds). The experiment contrasts the traditional arrangement — where
+// rebuild traffic saturates the single partner disk, queueing user
+// reads behind it — with the shifted arrangement, where rebuild load
+// spreads across all disks. See docs/SERVING.md for the engine design.
 //
 // Fault injection: disks carrying a FaultProfile may return transient
 // errors (retried in place, bounded), unreadable sectors (the op is
@@ -17,21 +23,28 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "array/disk_array.hpp"
 #include "util/stats.hpp"
+#include "workload/arrival.hpp"
+#include "workload/qos.hpp"
 
 namespace sma::recon {
 
 struct OnlineConfig {
-  /// Poisson arrival rate of user requests, per simulated second.
-  double user_read_rate_hz = 40.0;
-  /// Stop injecting user requests after this many (rebuild drains on).
-  int max_user_reads = 500;
-  /// Fraction of user requests that are writes (a write must land on
+  /// How user requests arrive — the shared serving surface (see
+  /// workload::ArrivalConfig). Defaults: open-loop Poisson at 40 req/s,
+  /// injection stops after 500 requests (the rebuild drains on), seed 7.
+  workload::ArrivalConfig arrival;
+  /// Read/write composition of the request stream (a write must land on
   /// every live copy of the element — and the parity element if the
   /// architecture has one — so its latency is the max across disks).
-  double write_fraction = 0.0;
+  workload::MixConfig mix;
+  /// Rebuild scheduling policy and foreground SLO target. The default
+  /// (strict priority, no target) reproduces the pre-QoS engine
+  /// bit-identically.
+  workload::QosConfig qos;
   /// Inject a second disk failure mid-rebuild: at this simulated time
   /// (< 0 disables) the given disk dies too. Requires a fault-
   /// tolerance-2 architecture (mirror with parity). All pending
@@ -39,34 +52,78 @@ struct OnlineConfig {
   /// on the dead disk are rerouted or dropped onto surviving copies.
   double second_failure_at_s = -1.0;
   int second_failure_disk = -1;
-  std::uint64_t seed = 7;
-  /// Optional observability hooks (borrowed, caller-owned). With a
-  /// TraceSink attached the run emits the full event stream — request
-  /// arrivals, queue enter/leave, per-disk service spans, rebuild
-  /// issue/complete, failures, retries. With a MetricsRegistry attached
-  /// (and a sample interval set) per-disk timelines are sampled on the
-  /// simulated-time cadence: "d<k>.util", "d<k>.qdepth",
-  /// "d<k>.rebuild_mbps", "d<k>.user_mbps", "d<k>.retries". Probes
-  /// registered here are cleared before returning. Null (default):
-  /// zero-overhead, the OnlineReport is bit-identical either way.
-  obs::Observer* observer = nullptr;
+  /// Optional observability hooks (borrowed, caller-owned; see
+  /// obs::Attach for the uniform semantics). With a TraceSink attached
+  /// the run emits the full event stream — request arrivals, queue
+  /// enter/leave, per-disk service spans, rebuild issue/complete,
+  /// failures, retries, throttle decisions. With a MetricsRegistry
+  /// attached (and a sample interval set) per-disk timelines are
+  /// sampled on the simulated-time cadence: "d<k>.util", "d<k>.qdepth",
+  /// "d<k>.rebuild_mbps", "d<k>.user_mbps", "d<k>.retries", plus
+  /// "d<k>.rebuild_budget" when a throttling policy is active.
+  obs::Attach observer;
+
+  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
+  /// \deprecated Use arrival.rate_hz. A value set here overrides it.
+  std::optional<double> user_read_rate_hz;
+  /// \deprecated Use arrival.max_requests. Overrides when set.
+  std::optional<int> max_user_reads;
+  /// \deprecated Use mix.write_fraction. Overrides when set.
+  std::optional<double> write_fraction;
+  /// \deprecated Use arrival.seed. Overrides when set.
+  std::optional<std::uint64_t> seed;
+
+  /// The arrival surface with the deprecated aliases folded in.
+  workload::ArrivalConfig effective_arrival() const {
+    workload::ArrivalConfig a = arrival;
+    if (user_read_rate_hz) a.rate_hz = *user_read_rate_hz;
+    if (max_user_reads) a.max_requests = *max_user_reads;
+    if (seed) a.seed = *seed;
+    return a;
+  }
+  workload::MixConfig effective_mix() const {
+    workload::MixConfig m = mix;
+    if (write_fraction) m.write_fraction = *write_fraction;
+    return m;
+  }
 };
 
 struct OnlineReport {
   double rebuild_done_s = 0.0;
+  /// Requests *issued* before the arrival cutoff, by class. Injection
+  /// stops at arrival.max_requests; already-issued requests still run
+  /// to completion (the simulation drains), so normally
+  /// requests_completed == requests_issued — they differ only when a
+  /// request dies without completing (e.g. its element became
+  /// unreadable beyond the architecture's tolerance).
   std::size_t user_reads = 0;
   std::size_t user_writes = 0;
+  std::size_t requests_issued = 0;
+  /// Requests that completed; every latency/SLO statistic below is
+  /// computed over completed requests only.
+  std::size_t requests_completed = 0;
   std::size_t degraded_reads = 0;  // reads that hit the failed disk
-  double mean_latency_s = 0.0;     // reads
+  double mean_latency_s = 0.0;     // completed reads
   double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;
   double p99_latency_s = 0.0;
+  double p999_latency_s = 0.0;
   double max_latency_s = 0.0;
   double mean_degraded_latency_s = 0.0;
   double mean_write_latency_s = 0.0;
   double p99_write_latency_s = 0.0;
   /// Set when a second failure was injected and absorbed.
   bool second_failure_injected = false;
+
+  // --- QoS accounting (zero unless qos sets a target / policy) ---------
+  /// Completed foreground reads whose latency exceeded qos.p99_target_s.
+  std::size_t slo_violations = 0;
+  /// slo_violations as a percentage of completed foreground reads.
+  double slo_violation_pct = 0.0;
+  /// Final in-flight rebuild budget (-1 when no throttling policy ran).
+  int final_rebuild_budget = -1;
+  /// Adaptive control ticks that changed the budget.
+  int throttle_adjustments = 0;
 
   // --- fault accounting (all zero with inert profiles) -----------------
   /// Re-submissions after transient I/O errors (bounded per op by

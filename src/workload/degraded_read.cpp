@@ -21,18 +21,18 @@ Result<DegradedReadReport> run_degraded_reads(array::DiskArray& arr,
   const auto failed = arr.failed_physical();
   if (failed.size() > 1)
     return invalid_argument("degraded read workload expects <= 1 failure");
-  if (cfg.read_count < 0) return invalid_argument("negative read count");
+  const ArrivalConfig acfg = cfg.effective_arrival();
+  const int read_count = acfg.max_requests;
+  if (read_count < 0) return invalid_argument("negative read count");
 
-  obs::Observer* const ob =
-      cfg.observer != nullptr && cfg.observer->active() ? cfg.observer
-                                                        : nullptr;
+  obs::Observer* const ob = cfg.observer.get();
 
-  Rng rng(cfg.seed);
+  Rng rng(acfg.seed);
   DegradedReadReport report;
   std::vector<array::Op> ops;
-  ops.reserve(static_cast<std::size_t>(cfg.read_count));
+  ops.reserve(static_cast<std::size_t>(read_count));
 
-  for (int k = 0; k < cfg.read_count; ++k) {
+  for (int k = 0; k < read_count; ++k) {
     const int data_disk =
         static_cast<int>(rng.next_below(static_cast<std::uint64_t>(arch.n())));
     const int stripe = static_cast<int>(

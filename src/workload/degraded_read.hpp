@@ -7,19 +7,37 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "array/disk_array.hpp"
 #include "util/status.hpp"
+#include "workload/arrival.hpp"
 
 namespace sma::workload {
 
 struct DegradedReadConfig {
-  int read_count = 1000;
-  std::uint64_t seed = 13;
-  /// Optional observability hooks (borrowed; detached before
-  /// returning): request arrivals + per-disk service spans. Null
-  /// (default): zero-overhead, the report is bit-identical either way.
-  obs::Observer* observer = nullptr;
+  /// Shared arrival surface. The batch model is closed-form — all reads
+  /// are pending at t = 0 — so only arrival.max_requests (the read
+  /// count) and arrival.seed are honored. Historical defaults: 1000
+  /// reads, seed 13.
+  ArrivalConfig arrival = ArrivalConfig::with(1000, 13);
+  /// Optional observability hooks (borrowed, caller-owned; see
+  /// obs::Attach for the uniform semantics): request arrivals +
+  /// per-disk service spans.
+  obs::Attach observer;
+
+  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
+  /// \deprecated Use arrival.max_requests. Overrides when set.
+  std::optional<int> read_count;
+  /// \deprecated Use arrival.seed. Overrides when set.
+  std::optional<std::uint64_t> seed;
+
+  ArrivalConfig effective_arrival() const {
+    ArrivalConfig a = arrival;
+    if (read_count) a.max_requests = *read_count;
+    if (seed) a.seed = *seed;
+    return a;
+  }
 };
 
 struct DegradedReadReport {

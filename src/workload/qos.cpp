@@ -1,0 +1,71 @@
+#include "workload/qos.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace sma::workload {
+
+namespace {
+
+constexpr struct {
+  RebuildPolicy policy;
+  const char* name;
+} kPolicyNames[] = {
+    {RebuildPolicy::kStrictPriority, "strict"},
+    {RebuildPolicy::kFixedBudget, "fixed"},
+    {RebuildPolicy::kAdaptive, "adaptive"},
+};
+
+}  // namespace
+
+const char* to_string(RebuildPolicy policy) {
+  for (const auto& e : kPolicyNames)
+    if (e.policy == policy) return e.name;
+  return "unknown";
+}
+
+Result<RebuildPolicy> rebuild_policy_from(std::string_view name) {
+  for (const auto& e : kPolicyNames)
+    if (name == e.name) return e.policy;
+  return invalid_argument("unknown rebuild policy: " + std::string(name));
+}
+
+RebuildThrottle::RebuildThrottle(const QosConfig& cfg, int max_budget)
+    : max_budget_(std::max(1, max_budget)) {
+  switch (cfg.policy) {
+    case RebuildPolicy::kStrictPriority:
+      break;
+    case RebuildPolicy::kFixedBudget:
+      // budget 0 = unlimited: leave the throttle disabled so the fixed
+      // cap at its inert default reproduces strict priority exactly.
+      if (cfg.rebuild_budget > 0) {
+        enabled_ = true;
+        budget_ = std::min(cfg.rebuild_budget, max_budget_);
+        min_budget_ = budget_;
+      }
+      break;
+    case RebuildPolicy::kAdaptive:
+      enabled_ = true;
+      adaptive_ = true;
+      budget_ = cfg.rebuild_budget > 0
+                    ? std::min(cfg.rebuild_budget, max_budget_)
+                    : max_budget_;
+      min_budget_ = std::clamp(cfg.min_budget, 0, max_budget_);
+      target_s_ = cfg.p99_target_s;
+      raise_below_s_ = cfg.raise_headroom * cfg.p99_target_s;
+      break;
+  }
+}
+
+int RebuildThrottle::control(double window_p99) {
+  if (!adaptive_) return 0;
+  const int old = budget_;
+  if (window_p99 < 0.0 || window_p99 <= raise_below_s_) {
+    budget_ = std::min(max_budget_, budget_ + 1);
+  } else if (window_p99 > target_s_) {
+    budget_ = std::max(min_budget_, budget_ / 2);
+  }
+  return budget_ - old;
+}
+
+}  // namespace sma::workload

@@ -26,7 +26,7 @@ struct ObsGuard {
 
 WriteRunReport run_write_workload(array::DiskArray& arr,
                                   const std::vector<WriteRequest>& requests,
-                                  obs::Observer* observer) {
+                                  obs::Attach observer) {
   const auto& arch = arr.arch();
   assert(arch.is_mirror() && "write executor models the mirror methods");
   const int n = arch.n();
@@ -37,8 +37,7 @@ WriteRunReport run_write_workload(array::DiskArray& arr,
   WriteRunReport report;
   double clock = 0.0;
 
-  obs::Observer* const ob =
-      observer != nullptr && observer->active() ? observer : nullptr;
+  obs::Observer* const ob = observer.get();
   ObsGuard obs_guard;
   if (ob != nullptr) {
     arr.set_observer(ob);

@@ -33,11 +33,11 @@ struct WriteRunReport {
 };
 
 /// Execute the workload on `arr` (timing only; contents unchanged).
-/// With an observer (borrowed; detached before returning) each request
-/// emits kRequestArrive and the disks emit their service spans; null
-/// (default) is the zero-overhead path with a bit-identical report.
+/// With an observer attached (borrowed, caller-owned; see obs::Attach
+/// for the uniform semantics) each request emits kRequestArrive and the
+/// disks emit their service spans.
 WriteRunReport run_write_workload(array::DiskArray& arr,
                                   const std::vector<WriteRequest>& requests,
-                                  obs::Observer* observer = nullptr);
+                                  obs::Attach observer = {});
 
 }  // namespace sma::workload

@@ -14,14 +14,15 @@ std::int64_t data_element_count(const array::DiskArray& arr) {
 
 std::vector<WriteRequest> generate_large_writes(
     const array::DiskArray& arr, const WriteWorkloadConfig& cfg) {
-  assert(cfg.request_count >= 0);
+  const ArrivalConfig acfg = cfg.effective_arrival();
+  assert(acfg.max_requests >= 0);
   const std::int64_t total = data_element_count(arr);
   const int stripe_elements = arr.arch().rows() * arr.arch().n();
-  Rng rng(cfg.seed);
+  Rng rng(acfg.seed);
 
   std::vector<WriteRequest> out;
-  out.reserve(static_cast<std::size_t>(cfg.request_count));
-  for (int r = 0; r < cfg.request_count; ++r) {
+  out.reserve(static_cast<std::size_t>(acfg.max_requests));
+  for (int r = 0; r < acfg.max_requests; ++r) {
     WriteRequest req;
     req.length = static_cast<int>(
         rng.next_int(1, std::min<std::int64_t>(stripe_elements, total)));

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "array/disk_array.hpp"
+#include "workload/arrival.hpp"
 
 namespace sma::workload {
 
@@ -23,8 +25,23 @@ struct WriteRequest {
 };
 
 struct WriteWorkloadConfig {
-  int request_count = 1000;
-  std::uint64_t seed = 11;
+  /// Shared arrival surface. Generation is offline, so only
+  /// arrival.max_requests (the request count) and arrival.seed are
+  /// honored. Historical defaults: 1000 requests, seed 11.
+  ArrivalConfig arrival = ArrivalConfig::with(1000, 11);
+
+  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
+  /// \deprecated Use arrival.max_requests. Overrides when set.
+  std::optional<int> request_count;
+  /// \deprecated Use arrival.seed. Overrides when set.
+  std::optional<std::uint64_t> seed;
+
+  ArrivalConfig effective_arrival() const {
+    ArrivalConfig a = arrival;
+    if (request_count) a.max_requests = *request_count;
+    if (seed) a.seed = *seed;
+    return a;
+  }
 };
 
 /// Total data elements addressable in `arr`.

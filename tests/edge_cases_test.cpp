@@ -115,7 +115,7 @@ TEST(Edge, WriteWorkloadOnSingleStripeVolume) {
   array::DiskArray arr(cfg);
   arr.initialize();
   workload::WriteWorkloadConfig wcfg;
-  wcfg.request_count = 20;
+  wcfg.arrival.max_requests = 20;
   const auto reqs = workload::generate_large_writes(arr, wcfg);
   for (const auto& r : reqs) {
     EXPECT_GE(r.start, 0);

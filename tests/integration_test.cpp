@@ -153,7 +153,7 @@ TEST(Integration, WriteWorkloadThenRebuild) {
   array::DiskArray arr(cfg_for(arch));
   arr.initialize();
   workload::WriteWorkloadConfig wcfg;
-  wcfg.request_count = 100;
+  wcfg.arrival.max_requests = 100;
   const auto reqs = workload::generate_large_writes(arr, wcfg);
   const auto wreport = workload::run_write_workload(arr, reqs);
   EXPECT_GT(wreport.write_throughput_mbps(), 0.0);

@@ -356,7 +356,7 @@ TEST(MultiOnline, CompletesAndCollectsLatencies) {
   arr.initialize();
   arr.fail_physical(0);
   MmOnlineConfig cfg;
-  cfg.max_user_reads = 150;
+  cfg.arrival.max_requests = 150;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   EXPECT_GT(report.value().rebuild_done_s, 0.0);
@@ -373,7 +373,7 @@ TEST(MultiOnline, HandlesDoubleFailure) {
   arr.fail_physical(1);
   arr.fail_physical(6);
   MmOnlineConfig cfg;
-  cfg.max_user_reads = 100;
+  cfg.arrival.max_requests = 100;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   EXPECT_GT(report.value().degraded_reads, 0u);
@@ -400,8 +400,8 @@ TEST(MultiOnline, ShiftedRebuildCompletesSoonerThanTraditional) {
     arr.initialize();
     arr.fail_physical(0);
     MmOnlineConfig cfg;
-    cfg.max_user_reads = 200;
-    cfg.seed = 77;
+    cfg.arrival.max_requests = 200;
+    cfg.arrival.seed = 77;
     auto report = run_online_reconstruction(arr, cfg);
     ASSERT_TRUE(report.is_ok());
     done[shifted ? 1 : 0] = report.value().rebuild_done_s;

@@ -48,8 +48,8 @@ TEST(Online, CompletesRebuildAndCollectsLatencies) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 100;
-  cfg.user_read_rate_hz = 20;
+  cfg.arrival.max_requests = 100;
+  cfg.arrival.rate_hz = 20;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   EXPECT_GT(report.value().rebuild_done_s, 0.0);
@@ -65,8 +65,8 @@ TEST(Online, DeterministicForFixedSeed) {
     arr.initialize();
     arr.fail_physical(2);
     OnlineConfig cfg;
-    cfg.max_user_reads = 50;
-    cfg.seed = 99;
+    cfg.arrival.max_requests = 50;
+    cfg.arrival.seed = 99;
     return run_online_reconstruction(arr, cfg);
   };
   auto a = run();
@@ -85,8 +85,8 @@ TEST(Online, DegradedReadsServedFromReplica) {
   arr.initialize();
   arr.fail_physical(1);
   OnlineConfig cfg;
-  cfg.max_user_reads = 400;
-  cfg.seed = 3;
+  cfg.arrival.max_requests = 400;
+  cfg.arrival.seed = 3;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok());
   EXPECT_EQ(report.value().user_reads, 400u);
@@ -100,9 +100,9 @@ TEST(Online, WriteMixProducesWriteLatencies) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 300;
-  cfg.write_fraction = 0.5;
-  cfg.seed = 41;
+  cfg.arrival.max_requests = 300;
+  cfg.mix.write_fraction = 0.5;
+  cfg.arrival.seed = 41;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   const auto& r = report.value();
@@ -118,8 +118,8 @@ TEST(Online, PureWriteWorkload) {
   arr.initialize();
   arr.fail_physical(1);
   OnlineConfig cfg;
-  cfg.max_user_reads = 100;
-  cfg.write_fraction = 1.0;
+  cfg.arrival.max_requests = 100;
+  cfg.mix.write_fraction = 1.0;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok());
   EXPECT_EQ(report.value().user_writes, 100u);
@@ -137,9 +137,9 @@ TEST(Online, WriteLatencyBoundedBelowByServiceTime) {
   arr.initialize();
   arr.fail_physical(2);
   OnlineConfig cfg;
-  cfg.max_user_reads = 400;
-  cfg.write_fraction = 0.5;
-  cfg.user_read_rate_hz = 10;  // light load isolates service times
+  cfg.arrival.max_requests = 400;
+  cfg.mix.write_fraction = 0.5;
+  cfg.arrival.rate_hz = 10;  // light load isolates service times
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok());
   const auto& spec = arr.physical(0).spec();
@@ -156,7 +156,7 @@ TEST(Online, RejectsBadWriteFraction) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.write_fraction = 1.5;
+  cfg.mix.write_fraction = 1.5;
   EXPECT_FALSE(run_online_reconstruction(arr, cfg).is_ok());
 }
 
@@ -165,11 +165,11 @@ TEST(Online, SecondFailureMidRebuildAbsorbedWithParity) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 300;
-  cfg.user_read_rate_hz = 40;
+  cfg.arrival.max_requests = 300;
+  cfg.arrival.rate_hz = 40;
   cfg.second_failure_at_s = 1.0;
   cfg.second_failure_disk = 5;
-  cfg.seed = 33;
+  cfg.arrival.seed = 33;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   EXPECT_TRUE(report.value().second_failure_injected);
@@ -184,8 +184,8 @@ TEST(Online, SecondFailureCostsRebuildTime) {
     arr.initialize();
     arr.fail_physical(0);
     OnlineConfig cfg;
-    cfg.max_user_reads = 100;
-    cfg.seed = 12;
+    cfg.arrival.max_requests = 100;
+    cfg.arrival.seed = 12;
     if (inject) {
       cfg.second_failure_at_s = 0.5;
       cfg.second_failure_disk = 2;
@@ -228,8 +228,8 @@ TEST(Online, SecondFailureLateIsHarmless) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 20;
-  cfg.user_read_rate_hz = 200;  // arrivals finish early
+  cfg.arrival.max_requests = 20;
+  cfg.arrival.rate_hz = 200;  // arrivals finish early
   cfg.second_failure_at_s = 500.0;
   cfg.second_failure_disk = 4;
   auto report = run_online_reconstruction(arr, cfg);
@@ -245,9 +245,9 @@ TEST(Online, ShiftedKeepsUserLatencyLowerUnderRebuildPressure) {
     arr.initialize();
     arr.fail_physical(0);
     OnlineConfig cfg;
-    cfg.max_user_reads = 300;
-    cfg.user_read_rate_hz = 30;
-    cfg.seed = 17;
+    cfg.arrival.max_requests = 300;
+    cfg.arrival.rate_hz = 30;
+    cfg.arrival.seed = 17;
     auto r = run_online_reconstruction(arr, cfg);
     EXPECT_TRUE(r.is_ok());
     return r.value();
@@ -265,11 +265,11 @@ TEST(Online, SecondFailureThenOfflineRebuildVerifies) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 200;
-  cfg.user_read_rate_hz = 40;
+  cfg.arrival.max_requests = 200;
+  cfg.arrival.rate_hz = 40;
   cfg.second_failure_at_s = 1.0;
   cfg.second_failure_disk = 5;
-  cfg.seed = 21;
+  cfg.arrival.seed = 21;
   auto online = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(online.is_ok()) << online.status().to_string();
   ASSERT_TRUE(online.value().second_failure_injected);
@@ -287,9 +287,9 @@ TEST(Online, ScheduledFailStopAbsorbedLikeSecondFailure) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 300;
-  cfg.user_read_rate_hz = 40;
-  cfg.seed = 33;
+  cfg.arrival.max_requests = 300;
+  cfg.arrival.rate_hz = 40;
+  cfg.arrival.seed = 33;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   EXPECT_EQ(report.value().fail_stops_absorbed, 1);
@@ -309,8 +309,8 @@ TEST(Online, ScheduledFailStopBeyondToleranceIsUnrecoverable) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 200;
-  cfg.user_read_rate_hz = 40;
+  cfg.arrival.max_requests = 200;
+  cfg.arrival.rate_hz = 40;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_FALSE(report.is_ok());
   EXPECT_EQ(report.status().code(), ErrorCode::kUnrecoverable);
@@ -324,8 +324,8 @@ TEST(Online, TransientErrorsRetriedInPlace) {
   arr.initialize();
   arr.fail_physical(0);
   OnlineConfig cfg;
-  cfg.max_user_reads = 200;
-  cfg.user_read_rate_hz = 40;
+  cfg.arrival.max_requests = 200;
+  cfg.arrival.rate_hz = 40;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();
   EXPECT_GT(report.value().io_retries, 0u);
@@ -344,12 +344,12 @@ TEST(Online, TracingOnAndOffYieldIdenticalReports) {
     arr.initialize();
     arr.fail_physical(0);
     OnlineConfig cfg;
-    cfg.max_user_reads = 150;
-    cfg.user_read_rate_hz = 30;
-    cfg.write_fraction = 0.2;
+    cfg.arrival.max_requests = 150;
+    cfg.arrival.rate_hz = 30;
+    cfg.mix.write_fraction = 0.2;
     cfg.second_failure_at_s = 1.0;
     cfg.second_failure_disk = 3;
-    cfg.seed = 42;
+    cfg.arrival.seed = 42;
     cfg.observer = observer;
     return run_online_reconstruction(arr, cfg);
   };
@@ -406,7 +406,7 @@ TEST(Online, ServiceSpansAreOrderedPerDisk) {
   obs::Observer ob;
   ob.trace = &trace;
   OnlineConfig cfg;
-  cfg.max_user_reads = 80;
+  cfg.arrival.max_requests = 80;
   cfg.observer = &ob;
   auto report = run_online_reconstruction(arr, cfg);
   ASSERT_TRUE(report.is_ok()) << report.status().to_string();

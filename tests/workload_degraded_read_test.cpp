@@ -19,7 +19,7 @@ TEST(DegradedRead, HealthyArrayHasNoDegradedReads) {
   array::DiskArray arr(cfg_for(layout::Architecture::mirror(4, true)));
   arr.initialize();
   DegradedReadConfig cfg;
-  cfg.read_count = 300;
+  cfg.arrival.max_requests = 300;
   auto report = run_degraded_reads(arr, cfg);
   ASSERT_TRUE(report.is_ok());
   EXPECT_EQ(report.value().degraded_reads, 0u);
@@ -45,7 +45,7 @@ TEST(DegradedRead, RedirectedShareRoughlyOneOverTotalDisks) {
   arr.initialize();
   arr.fail_physical(2);
   DegradedReadConfig cfg;
-  cfg.read_count = 4000;
+  cfg.arrival.max_requests = 4000;
   auto report = run_degraded_reads(arr, cfg);
   ASSERT_TRUE(report.is_ok());
   // With rotation, physical disk 2 hosts a data role in half the
@@ -66,8 +66,8 @@ TEST(DegradedRead, TraditionalConcentratesShiftedSpreads) {
     arr.initialize();
     arr.fail_physical(0);
     DegradedReadConfig cfg;
-    cfg.read_count = 3000;
-    cfg.seed = 99;
+    cfg.arrival.max_requests = 3000;
+    cfg.arrival.seed = 99;
     auto report = run_degraded_reads(arr, cfg);
     ASSERT_TRUE(report.is_ok());
     imbalance[shifted ? 1 : 0] = report.value().load_imbalance;
@@ -86,8 +86,8 @@ TEST(DegradedRead, DeterministicBySeed) {
     arr.initialize();
     arr.fail_physical(1);
     DegradedReadConfig cfg;
-    cfg.read_count = 500;
-    cfg.seed = 77;
+    cfg.arrival.max_requests = 500;
+    cfg.arrival.seed = 77;
     return run_degraded_reads(arr, cfg);
   };
   auto a = run();
@@ -102,7 +102,7 @@ TEST(DegradedRead, ZeroReadsIsTrivial) {
   array::DiskArray arr(cfg_for(layout::Architecture::mirror(3, true)));
   arr.initialize();
   DegradedReadConfig cfg;
-  cfg.read_count = 0;
+  cfg.arrival.max_requests = 0;
   auto report = run_degraded_reads(arr, cfg);
   ASSERT_TRUE(report.is_ok());
   EXPECT_DOUBLE_EQ(report.value().makespan_s, 0.0);

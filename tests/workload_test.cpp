@@ -19,7 +19,7 @@ array::ArrayConfig cfg_for(layout::Architecture arch, int stacks = 1) {
 TEST(WriteWorkload, CountsAndBounds) {
   array::DiskArray arr(cfg_for(layout::Architecture::mirror(4, true)));
   WriteWorkloadConfig cfg;
-  cfg.request_count = 500;
+  cfg.arrival.max_requests = 500;
   const auto reqs = generate_large_writes(arr, cfg);
   EXPECT_EQ(reqs.size(), 500u);
   const std::int64_t total = data_element_count(arr);
@@ -35,8 +35,8 @@ TEST(WriteWorkload, CountsAndBounds) {
 TEST(WriteWorkload, DeterministicBySeed) {
   array::DiskArray arr(cfg_for(layout::Architecture::mirror(3, true)));
   WriteWorkloadConfig cfg;
-  cfg.request_count = 50;
-  cfg.seed = 42;
+  cfg.arrival.max_requests = 50;
+  cfg.arrival.seed = 42;
   const auto a = generate_large_writes(arr, cfg);
   const auto b = generate_large_writes(arr, cfg);
   ASSERT_EQ(a.size(), b.size());
@@ -121,7 +121,7 @@ TEST(WriteExecutor, ShiftedAndTraditionalWriteNearIdenticalAccessCounts) {
   // partial multi-row requests two rows' partial segments can land two
   // replicas on one mirror disk, so allow a small (<5%) difference.
   WriteWorkloadConfig wcfg;
-  wcfg.request_count = 200;
+  wcfg.arrival.max_requests = 200;
   std::uint64_t accesses[2];
   for (const bool shifted : {false, true}) {
     array::DiskArray arr(
@@ -154,7 +154,7 @@ TEST(WriteExecutor, FullRowWritesIdenticalAccessCountsBothArrangements) {
 
 TEST(WriteExecutor, ThroughputComparableBetweenArrangements) {
   WriteWorkloadConfig wcfg;
-  wcfg.request_count = 300;
+  wcfg.arrival.max_requests = 300;
   double mbps[2];
   for (const bool shifted : {false, true}) {
     array::DiskArray arr(cfg_for(layout::Architecture::mirror(5, shifted)));

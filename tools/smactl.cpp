@@ -7,6 +7,9 @@
 //   smactl plan      --n=3 [--parity] [--traditional] --fail=0,6
 //   smactl rebuild   --n=5 [--parity] [--traditional] --fail=2 [--stacks=2]
 //   smactl online    --n=5 [--traditional] [--rate=30] [--reads=500]
+//   smactl qos       --n=5 [--traditional] [--policy=adaptive] [--p99-ms=120]
+//                    [--arrival=poisson|closed_loop|bursty|trace]
+//                    [--budget=B] [--trace-file=F] [--export-trace=F]
 //   smactl trace     --n=5 [--traditional] [--jsonl=F] [--chrome=F]
 //                    [--timeline-csv=F] [--interval=0.5]
 //   smactl scrub     --n=5 [--parity] [--errors=10] [--seed=1]
@@ -36,6 +39,7 @@
 #include "recon/plan.hpp"
 #include "recon/reliability.hpp"
 #include "recon/scrub.hpp"
+#include "workload/arrival.hpp"
 #include "workload/degraded_read.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -53,6 +57,12 @@ int usage(const char* error = nullptr) {
                "  plan          reconstruction read plan for failed disks\n"
                "  rebuild       execute + verify a rebuild, report throughput\n"
                "  online        on-line rebuild with user reads\n"
+               "  qos           online rebuild under a QoS policy: arrival\n"
+               "                processes (--arrival=poisson|closed_loop|\n"
+               "                bursty|trace --trace-file=<f>), rebuild\n"
+               "                throttling (--policy=strict|fixed|adaptive\n"
+               "                --budget=<B> --p99-ms=<t> --interval=<s>),\n"
+               "                arrival-trace export (--export-trace=<f>)\n"
                "  trace         online rebuild with tracing: event stream\n"
                "                (--jsonl=<f>), Perfetto (--chrome=<f>),\n"
                "                per-disk timelines (--timeline-csv=<f>,\n"
@@ -202,9 +212,9 @@ int cmd_online(const Flags& flags) {
   arr.initialize();
   arr.fail_physical(flags.get_int("fail", 0));
   recon::OnlineConfig ocfg;
-  ocfg.user_read_rate_hz = flags.get_double("rate", 30.0);
-  ocfg.max_user_reads = flags.get_int("reads", 500);
-  ocfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  ocfg.arrival.rate_hz = flags.get_double("rate", 30.0);
+  ocfg.arrival.max_requests = flags.get_int("reads", 500);
+  ocfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   auto report = recon::run_online_reconstruction(arr, ocfg);
   if (!report.is_ok()) {
     std::fprintf(stderr, "online: %s\n", report.status().to_string().c_str());
@@ -217,6 +227,80 @@ int cmd_online(const Flags& flags) {
               cfg.arch.name().c_str(), r.rebuild_done_s, r.user_reads,
               r.degraded_reads, r.mean_latency_s * 1e3, r.p50_latency_s * 1e3,
               r.p95_latency_s * 1e3, r.p99_latency_s * 1e3);
+  return 0;
+}
+
+int cmd_qos(const Flags& flags) {
+  auto cfg = array_cfg_from(flags);
+  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  arr.fail_physical(flags.get_int("fail", 0));
+
+  recon::OnlineConfig ocfg;
+  auto kind = workload::arrival_kind_from(flags.get("arrival", "poisson"));
+  if (!kind.is_ok()) return usage(kind.status().to_string().c_str());
+  ocfg.arrival.kind = kind.value();
+  ocfg.arrival.rate_hz = flags.get_double("rate", 40.0);
+  ocfg.arrival.max_requests = flags.get_int("reads", 500);
+  ocfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  ocfg.arrival.clients = flags.get_int("clients", 4);
+  ocfg.arrival.burst_rate_hz = flags.get_double("burst-rate", 200.0);
+  if (kind.value() == workload::ArrivalKind::kTrace) {
+    const std::string path = flags.get("trace-file", "");
+    if (path.empty()) return usage("--arrival=trace needs --trace-file=<csv>");
+    auto points = workload::load_arrival_trace_csv(path);
+    if (!points.is_ok()) {
+      std::fprintf(stderr, "qos: %s\n", points.status().to_string().c_str());
+      return 1;
+    }
+    ocfg.arrival.trace = std::move(points).take();
+  }
+  ocfg.mix.write_fraction = flags.get_double("writes", 0.0);
+  auto policy = workload::rebuild_policy_from(flags.get("policy", "adaptive"));
+  if (!policy.is_ok()) return usage(policy.status().to_string().c_str());
+  ocfg.qos.policy = policy.value();
+  ocfg.qos.rebuild_budget = flags.get_int("budget", 0);
+  ocfg.qos.p99_target_s = flags.get_double("p99-ms", 120.0) / 1e3;
+  ocfg.qos.control_interval_s = flags.get_double("interval", 0.25);
+
+  obs::TraceSink trace;
+  obs::Observer ob;
+  ob.trace = &trace;
+  ocfg.observer = &ob;
+  auto report = recon::run_online_reconstruction(arr, ocfg);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "qos: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = report.value();
+  std::printf(
+      "%s [%s/%s]: rebuild done at %.2f s; %zu/%zu requests completed "
+      "(%zu degraded); read latency p50/p95/p99/p99.9 = "
+      "%.1f/%.1f/%.1f/%.1f ms\n",
+      cfg.arch.name().c_str(), workload::to_string(ocfg.arrival.kind),
+      workload::to_string(ocfg.qos.policy), r.rebuild_done_s,
+      r.requests_completed, r.requests_issued, r.degraded_reads,
+      r.p50_latency_s * 1e3, r.p95_latency_s * 1e3, r.p99_latency_s * 1e3,
+      r.p999_latency_s * 1e3);
+  if (ocfg.qos.p99_target_s > 0)
+    std::printf("SLO %.1f ms: %zu violations (%.2f%%); final budget %d, "
+                "%d throttle adjustments, %zu control decisions\n",
+                ocfg.qos.p99_target_s * 1e3, r.slo_violations,
+                r.slo_violation_pct, r.final_rebuild_budget,
+                r.throttle_adjustments,
+                trace.count(obs::EventKind::kThrottle));
+  const std::string out = flags.get("export-trace", "");
+  if (!out.empty()) {
+    const auto points = workload::arrival_trace_from_events(trace.events());
+    const Status st = workload::write_arrival_trace_csv(out, points);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "qos: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu arrival points to %s\n", points.size(),
+                out.c_str());
+  }
   return 0;
 }
 
@@ -235,9 +319,9 @@ int cmd_trace(const Flags& flags) {
   ob.metrics = &metrics;
 
   recon::OnlineConfig ocfg;
-  ocfg.user_read_rate_hz = flags.get_double("rate", 30.0);
-  ocfg.max_user_reads = flags.get_int("reads", 500);
-  ocfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  ocfg.arrival.rate_hz = flags.get_double("rate", 30.0);
+  ocfg.arrival.max_requests = flags.get_int("reads", 500);
+  ocfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   ocfg.observer = &ob;
   auto report = recon::run_online_reconstruction(arr, ocfg);
   if (!report.is_ok()) {
@@ -309,13 +393,13 @@ int cmd_write(const Flags& flags) {
   array::DiskArray arr(cfg);
   arr.initialize();
   workload::WriteWorkloadConfig wcfg;
-  wcfg.request_count = flags.get_int("requests", 1000);
-  wcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 777));
+  wcfg.arrival.max_requests = flags.get_int("requests", 1000);
+  wcfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 777));
   const auto reqs = workload::generate_large_writes(arr, wcfg);
   const auto report = workload::run_write_workload(arr, reqs);
   std::printf("%s: %d requests, %.0f MB payload in %.2f s -> %.1f MB/s "
               "(%llu rows, %llu write accesses, %.0f MB parity reads)\n",
-              cfg.arch.name().c_str(), wcfg.request_count,
+              cfg.arch.name().c_str(), wcfg.arrival.max_requests,
               report.user_bytes / 1e6, report.makespan_s,
               report.write_throughput_mbps(),
               static_cast<unsigned long long>(report.rows_written),
@@ -442,8 +526,8 @@ int cmd_degraded(const Flags& flags) {
   arr.initialize();
   arr.fail_physical(flags.get_int("fail", 0));
   workload::DegradedReadConfig dcfg;
-  dcfg.read_count = flags.get_int("reads", 2000);
-  dcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
+  dcfg.arrival.max_requests = flags.get_int("reads", 2000);
+  dcfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
   auto report = workload::run_degraded_reads(arr, dcfg);
   if (!report.is_ok()) {
     std::fprintf(stderr, "degraded: %s\n",
@@ -453,7 +537,8 @@ int cmd_degraded(const Flags& flags) {
   const auto& r = report.value();
   std::printf("%s: %d reads at %.1f MB/s; %zu degraded; hottest disk %d "
               "ops (imbalance %.2f)\n",
-              cfg.arch.name().c_str(), dcfg.read_count, r.throughput_mbps(),
+              cfg.arch.name().c_str(), dcfg.arrival.max_requests,
+              r.throughput_mbps(),
               r.degraded_reads, r.hottest_disk_ops, r.load_imbalance);
   return 0;
 }
@@ -507,6 +592,7 @@ int main(int argc, char** argv) {
   else if (cmd == "plan") rc = cmd_plan(flags);
   else if (cmd == "rebuild") rc = cmd_rebuild(flags);
   else if (cmd == "online") rc = cmd_online(flags);
+  else if (cmd == "qos") rc = cmd_qos(flags);
   else if (cmd == "trace") rc = cmd_trace(flags);
   else if (cmd == "scrub") rc = cmd_scrub(flags);
   else if (cmd == "write") rc = cmd_write(flags);
