@@ -30,10 +30,11 @@ std::uint64_t element_seed(std::uint64_t volume_seed, int data_disk,
 DiskArray::DiskArray(ArrayConfig cfg)
     : cfg_(std::move(cfg)), mapper_(cfg_.arch.total_disks()) {
   assert(cfg_.stripes >= 1);
+  assert(cfg_.spare_disks >= 0);
   const std::int64_t slots =
       static_cast<std::int64_t>(cfg_.stripes) * cfg_.arch.rows();
-  disks_.reserve(static_cast<std::size_t>(total_disks()));
-  for (int d = 0; d < total_disks(); ++d) {
+  disks_.reserve(static_cast<std::size_t>(physical_count()));
+  for (int d = 0; d < physical_count(); ++d) {
     const auto it = cfg_.spec_overrides.find(d);
     const disk::DiskSpec& spec =
         it == cfg_.spec_overrides.end() ? cfg_.spec : it->second;
@@ -70,12 +71,12 @@ std::int64_t DiskArray::slot(int stripe, int row) const {
 }
 
 disk::SimDisk& DiskArray::physical(int d) {
-  assert(d >= 0 && d < total_disks());
+  assert(d >= 0 && d < physical_count());
   return disks_[static_cast<std::size_t>(d)];
 }
 
 const disk::SimDisk& DiskArray::physical(int d) const {
-  assert(d >= 0 && d < total_disks());
+  assert(d >= 0 && d < physical_count());
   return disks_[static_cast<std::size_t>(d)];
 }
 
@@ -385,15 +386,18 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
   BatchStats stats;
   stats.start_s = start_time;
   stats.end_s = start_time;
-  std::vector<int> per_disk(static_cast<std::size_t>(total_disks()), 0);
+  std::vector<int> per_disk(static_cast<std::size_t>(physical_count()), 0);
   for (const Op& op : ops) {
-    const int phys = physical_disk(op.logical_disk, op.stripe);
+    const int phys = op.redirect_phys >= 0
+                         ? op.redirect_phys
+                         : physical_disk(op.logical_disk, op.stripe);
     auto& d = physical(phys);
     const std::int64_t sl = slot(op.stripe, op.row);
     ++per_disk[static_cast<std::size_t>(phys)];
     int attempts = 0;
+    double earliest = start_time;
     for (;;) {
-      const disk::IoResult res = d.submit(op.kind, sl, start_time);
+      const disk::IoResult res = d.submit(op.kind, sl, earliest);
       if (res.is_ok()) {
         stats.end_s = std::max(stats.end_s, res.value());
         if (op.kind == disk::IoKind::kRead)
@@ -409,6 +413,11 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
       if (transient && attempts < cfg_.io_max_retries) {
         ++attempts;
         ++stats.retried_ops;
+        // Model the retry delay when configured: the re-submission waits
+        // retry_backoff_s per attempt after the failed attempt drains.
+        // The guard keeps the default (0) path bit-identical.
+        if (cfg_.retry_backoff_s > 0.0)
+          earliest = d.busy_until() + cfg_.retry_backoff_s * attempts;
         if (observer_ != nullptr) {
           obs::TraceEvent ev;
           ev.kind = obs::EventKind::kRetry;
@@ -428,6 +437,7 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
       if (observer_ != nullptr) observer_->count("array.failed_ops");
       break;
     }
+    stats.max_retry_depth = std::max(stats.max_retry_depth, attempts);
   }
   stats.max_ops_per_disk = *std::max_element(per_disk.begin(), per_disk.end());
   return stats;

@@ -50,6 +50,18 @@ struct ArrayConfig {
   /// that hit a *transient* error is re-submitted (each retry pays full
   /// re-service time). Hard errors are never retried.
   int io_max_retries = 2;
+  /// Delay before a retry is re-submitted after a failed attempt
+  /// completes, growing linearly with the attempt number (first retry
+  /// waits 1x, second 2x, ...). The default 0 is inert: retries
+  /// re-submit immediately, reproducing the original timing bit for
+  /// bit.
+  double retry_backoff_s = 0.0;
+  /// Hot-spare disks appended after the architecture's disks (physical
+  /// ids total_disks()..total_disks()+spare_disks-1). They hold no
+  /// addressable elements; the repair orchestrator redirects
+  /// replacement writes onto them (repair::SparePolicy::kDedicated).
+  /// The default 0 is inert.
+  int spare_disks = 0;
 };
 
 /// One element access for the batch executor.
@@ -58,6 +70,11 @@ struct Op {
   int stripe = 0;
   int row = 0;
   disk::IoKind kind = disk::IoKind::kRead;
+  /// When >= 0, the op is served by this physical disk instead of the
+  /// stripe's logical->physical mapping: spare-pool placements redirect
+  /// replacement writes (and resumed-rebuild reads) to the disk that
+  /// actually holds the rebuilt copy. -1 (default) = no redirection.
+  int redirect_phys = -1;
 };
 
 /// Timing outcome of a parallel batch.
@@ -76,6 +93,9 @@ struct BatchStats {
   std::uint64_t failed_ops = 0;
   /// Subset of failed_ops that hit a latent unreadable sector.
   std::uint64_t unreadable_ops = 0;
+  /// Deepest retry chain any single op in the batch needed (0 = every
+  /// op succeeded or failed hard on its first attempt).
+  int max_retry_depth = 0;
 
   double elapsed_s() const { return end_s - start_s; }
 };
@@ -92,6 +112,9 @@ class DiskArray {
   const ArrayConfig& config() const { return cfg_; }
   int stripes() const { return cfg_.stripes; }
   int total_disks() const { return cfg_.arch.total_disks(); }
+  /// Architecture disks plus configured hot spares; physical(d) accepts
+  /// ids in [0, physical_count()).
+  int physical_count() const { return total_disks() + cfg_.spare_disks; }
 
   // --- address translation ---------------------------------------------
   int physical_disk(int logical, int stripe) const;

@@ -45,6 +45,13 @@ struct FaultProfile {
   /// disk id so disks sharing one profile fault independently.
   std::uint64_t seed = 0;
 
+  /// Failure-domain id for correlated-failure experiments: disks that
+  /// share an enclosure (power / cooling / backplane) fail together
+  /// more often than independently. Consumed by the Monte-Carlo
+  /// lifetime simulator (recon::simulate_mttdl); purely descriptive for
+  /// the I/O path, so it does not participate in inert().
+  int enclosure = -1;
+
   /// True when the profile cannot change any observable behavior.
   bool inert() const {
     return fail_at_s < 0.0 && latent_error_rate <= 0.0 &&

@@ -39,10 +39,14 @@ IoResult SimDisk::submit(IoKind kind, std::int64_t slot,
   if (slot < 0 || slot >= slot_count_)
     return out_of_range("slot " + std::to_string(slot) +
                         " out of range on disk " + std::to_string(id_));
-  if (failed_)
+  // A failed disk's replacement serves slots already rebuilt onto it:
+  // mid-rebuild, restored slots are live data (reads for a resumed
+  // rebuild, the replacement writes themselves). Everything else on a
+  // failed disk is an error, as before.
+  if (failed_ && !slot_restored(slot))
     return io_error("I/O submitted to failed disk " + std::to_string(id_));
   const double start = std::max(earliest_start, busy_until_);
-  if (fail_stop_armed_ && start >= fault_.fail_at_s) {
+  if (fail_stop_armed_ && !failed_ && start >= fault_.fail_at_s) {
     // The scheduled fail-stop manifests on the first access that would
     // start at or after it: the disk dies instead of serving.
     fail_stop_armed_ = false;
@@ -176,17 +180,26 @@ void SimDisk::restore_content(std::int64_t slot,
   assert(bytes.size() == content_bytes_);
   auto dst = content(slot);
   std::copy(bytes.begin(), bytes.end(), dst.begin());
+  // The restored slot lives on replacement media: any latent sector the
+  // old platters carried there is gone (heal() would discard the whole
+  // set anyway; clearing per-slot keeps mid-rebuild service honest).
+  clear_latent(slot);
   if (!restored_[static_cast<std::size_t>(slot)]) {
     restored_[static_cast<std::size_t>(slot)] = true;
     ++restored_count_;
   }
 }
 
-void SimDisk::heal() {
-  assert(failed_ && "heal() on a disk that never failed");
-  assert(fully_restored() &&
-         "heal() without full content restoration would serve the fail() "
-         "scramble pattern");
+Status SimDisk::heal() {
+  if (!failed_)
+    return failed_precondition("heal() on disk " + std::to_string(id_) +
+                               " that is not failed");
+  if (!fully_restored())
+    return failed_precondition(
+        "heal() on disk " + std::to_string(id_) +
+        " without full content restoration (" +
+        std::to_string(restored_count_) + "/" + std::to_string(slot_count_) +
+        " slots restored) would serve the fail() scramble pattern");
   failed_ = false;
   // Replacement hardware: the old platters' latent sectors are gone and
   // the consumed fail-stop does not re-arm.
@@ -195,6 +208,7 @@ void SimDisk::heal() {
     latent_count_ = 0;
   }
   fail_stop_armed_ = false;
+  return Status::ok();
 }
 
 }  // namespace sma::disk

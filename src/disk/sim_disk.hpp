@@ -143,10 +143,17 @@ class SimDisk {
   void restore_content(std::int64_t slot, std::span<const std::uint8_t> bytes);
   /// True once every slot has been restored since the last fail().
   bool fully_restored() const { return restored_count_ == slot_count_; }
+  /// True when `slot` has been restored since the last fail(); the
+  /// replacement disk serves restored slots even before heal().
+  bool slot_restored(std::int64_t slot) const {
+    return restored_count_ > 0 && restored_[static_cast<std::size_t>(slot)];
+  }
   /// Returns the (fully restored) disk to service, modeling a
   /// replacement: the latent-slot set is discarded and the scheduled
-  /// fail-stop is disarmed. Asserts full content restoration.
-  void heal();
+  /// fail-stop is disarmed. kFailedPrecondition when the disk never
+  /// failed or is only partially restored — a misuse the repair
+  /// orchestrator treats as a recoverable bug, not a process abort.
+  Status heal();
 
  private:
   int id_;

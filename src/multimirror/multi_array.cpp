@@ -186,7 +186,7 @@ Result<MultiReconReport> MultiMirrorArray::reconstruct() {
   // partially restored disk), and time replacement writes.
   for (const auto& w : staged)
     physical(w.physical_disk).restore_content(w.slot, w.bytes);
-  for (const int p : failed) physical(p).heal();
+  for (const int p : failed) SMA_RETURN_IF_ERROR(physical(p).heal());
   double total_end = read_end;
   for (const auto& w : staged) {
     total_end = std::max(

@@ -27,6 +27,7 @@ constexpr struct {
     {EventKind::kHeal, "heal"},
     {EventKind::kRetry, "retry"},
     {EventKind::kThrottle, "throttle"},
+    {EventKind::kStateChange, "state_change"},
 };
 
 /// Shortest-exact double literal: %.17g round-trips every finite IEEE
@@ -68,6 +69,8 @@ Status TraceSink::write_jsonl(std::ostream& out) const {
     if (e.slot >= 0) out << ",\"slot\":" << e.slot;
     if (e.rebuild) out << ",\"rebuild\":true";
     if (e.write) out << ",\"write\":true";
+    if (e.state_from >= 0) out << ",\"sfrom\":" << e.state_from;
+    if (e.state_to >= 0) out << ",\"sto\":" << e.state_to;
     out << "}\n";
   }
   if (!out) return io_error("trace JSONL write failed");
@@ -133,6 +136,8 @@ Result<TraceSink> TraceSink::parse_jsonl(std::istream& in) {
     if (find_field(line, "slot", field)) e.slot = std::atoll(field.c_str());
     e.rebuild = find_field(line, "rebuild", field) && field == "true";
     e.write = find_field(line, "write", field) && field == "true";
+    if (find_field(line, "sfrom", field)) e.state_from = std::atoi(field.c_str());
+    if (find_field(line, "sto", field)) e.state_to = std::atoi(field.c_str());
     sink.record(e);
   }
   return sink;
@@ -177,6 +182,8 @@ Status TraceSink::write_chrome_trace(std::ostream& out) const {
     if (e->slot >= 0) arg("slot", e->slot);
     if (e->stripe >= 0) arg("stripe", e->stripe);
     if (e->request_id >= 0) arg("req", e->request_id);
+    if (e->state_from >= 0) arg("sfrom", e->state_from);
+    if (e->state_to >= 0) arg("sto", e->state_to);
     out << "}}";
   }
   out << "\n]}\n";

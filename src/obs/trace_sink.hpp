@@ -42,6 +42,8 @@ enum class EventKind : std::uint8_t {
   kRetry,            // transient I/O error, op re-submitted
   kThrottle,         // rebuild-throttle control decision (slot = new
                      // budget, dur_s = the window's foreground p99)
+  kStateChange,      // array lifecycle transition (state_from/state_to
+                     // carry repair::ArrayState values as integers)
 };
 
 /// Stable lowercase name ("request_arrive", "service_start", ...).
@@ -59,6 +61,11 @@ struct TraceEvent {
   std::int64_t slot = -1;
   bool rebuild = false;  // job class: rebuild I/O vs user I/O
   bool write = false;    // access kind: write vs read
+  /// kStateChange only: the lifecycle states on either side of the
+  /// transition (repair::ArrayState as int; -1 = not a state change).
+  /// Defaults are omitted from JSONL, so older traces parse unchanged.
+  int state_from = -1;
+  int state_to = -1;
 };
 
 class TraceSink {

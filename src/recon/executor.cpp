@@ -311,10 +311,246 @@ struct ObsGuard {
   }
 };
 
+bool in_sorted(const std::vector<int>& v, int x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// The orchestrated rebuild path: checkpoint resume, stripe budgets and
+/// spare-placement redirection. Processes stripes strictly in index
+/// order (the checkpoint watermark depends on it), per-stripe pipelined
+/// timing. Taken only when one of those features is requested, so the
+/// default path's timing stays bit-identical.
+Result<ReconReport> reconstruct_orchestrated(array::DiskArray& arr,
+                                             const ReconOptions& opts) {
+  ReconReport report;
+  repair::RebuildCheckpoint* const ck = opts.checkpoint;
+  if (opts.max_stripes >= 0 && ck == nullptr)
+    return invalid_argument(
+        "ReconOptions::max_stripes requires a checkpoint to record the "
+        "watermark");
+  if (opts.max_stripes == 0)
+    return invalid_argument("ReconOptions::max_stripes must be positive "
+                            "(or -1 for unbounded)");
+  const auto failed_physical = arr.failed_physical();  // sorted ascending
+  if (failed_physical.empty()) {
+    if (ck != nullptr) ck->reset();
+    return report;
+  }
+
+  // Resume state. A checkpoint whose disks are not all still failed is
+  // stale (someone healed a checkpointed disk externally): discard it.
+  int watermark = 0;
+  std::vector<int> prior;
+  array::ElementSet skip;
+  if (ck != nullptr && ck->valid()) {
+    if (ck->covered_by(failed_physical)) {
+      watermark = std::min(ck->stripes_done, arr.stripes());
+      prior = ck->failed;
+      skip = ck->unrecoverable;
+    } else {
+      ck->reset();
+    }
+  }
+  const repair::SparePlacement placement =
+      opts.spare_placement != nullptr ? *opts.spare_placement
+                                      : repair::SparePlacement{};
+
+  obs::Observer* const ob = opts.observer.get();
+  ObsGuard obs_guard;
+  if (ob != nullptr) {
+    arr.set_observer(ob);
+    obs_guard.arr = &arr;
+    for (const int p : failed_physical) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kFailure;
+      ev.t_s = 0.0;
+      ev.disk = p;
+      ob->emit(ev);
+    }
+  }
+
+  const auto& arch = arr.arch();
+  const int rows = arch.rows();
+  arr.reset_timelines();
+  auto absorb = [&report](const array::BatchStats& stats) {
+    report.retried_ops += stats.retried_ops;
+    report.hard_errors += stats.failed_ops;
+  };
+
+  // Dirty-stripe detection must also see dead *hot spares* — they hold
+  // rebuilt copies but never appear in failed_physical() (they carry no
+  // addressable elements).
+  std::vector<int> dead_now = failed_physical;
+  for (int p = arr.total_disks(); p < arr.physical_count(); ++p)
+    if (arr.physical(p).failed()) dead_now.push_back(p);
+
+  FaultCounts fc;
+  int processed = 0;
+  int next_stripe = arr.stripes();
+  bool interrupted = false;
+  for (int s = 0; s < arr.stripes(); ++s) {
+    // Classify: skip / partial (new disks only) / full (fresh or dirty).
+    std::vector<int> rebuild_phys;
+    if (s < watermark && !ck->stripe_dirty(s, dead_now)) {
+      for (const int p : failed_physical)
+        if (!in_sorted(prior, p)) rebuild_phys.push_back(p);
+      if (rebuild_phys.empty()) {
+        ++report.stripes_skipped;
+        continue;
+      }
+    } else {
+      rebuild_phys = failed_physical;
+    }
+    if (opts.max_stripes >= 0 && processed >= opts.max_stripes) {
+      interrupted = true;
+      next_stripe = s;
+      break;
+    }
+
+    std::vector<int> rebuild_logical;
+    rebuild_logical.reserve(rebuild_phys.size());
+    for (const int p : rebuild_phys)
+      rebuild_logical.push_back(arr.logical_disk(p, s));
+    std::sort(rebuild_logical.begin(), rebuild_logical.end());
+
+    auto plan = plan_reconstruction(arch, rebuild_logical);
+    if (!plan.is_ok()) return plan.status();
+    report.read_accesses_per_stripe = std::max(
+        report.read_accesses_per_stripe, plan.value().read_accesses(arch));
+
+    // Recover contents. Still-failed disks NOT being rebuilt this
+    // stripe (checkpoint-covered prior disks) act as live sources:
+    // their restored contents are valid and their restored slots serve.
+    StripeRecovery rec;
+    Status recovered =
+        arch.is_mirror()
+            ? recover_mirror_stripe(arr, s, rebuild_logical, rec, fc)
+            : recover_raid_stripe(arr, s, rebuild_logical, rec, fc);
+    if (!recovered.is_ok()) return recovered;
+    for (const auto& [d, r] : rec.unrecoverable) skip.insert({d, s, r});
+
+    // Timing reads: exactly what recovery consumed; a read whose
+    // physical source is a still-failed prior disk goes to the disk
+    // that holds the rebuilt copy's timed I/O (the checkpointed spare
+    // target), or to the restored slots in place when rebuilt in place.
+    std::vector<array::Op> reads;
+    auto push_read = [&](int d, int r) {
+      array::Op op{d, s, r, disk::IoKind::kRead};
+      const int phys = arr.physical_disk(d, s);
+      if (in_sorted(failed_physical, phys)) {
+        const int target =
+            ck != nullptr ? ck->placement.target_for(phys, s) : -1;
+        if (target >= 0) op.redirect_phys = target;
+      }
+      reads.push_back(op);
+    };
+    for (const auto& [d, r] : rec.availability_reads) push_read(d, r);
+    if (opts.include_parity_rebuild)
+      for (const auto& [d, r] : rec.parity_rebuild_reads)
+        if (rec.availability_reads.count({d, r}) == 0) push_read(d, r);
+
+    // Restore contents (before timing: replacement writes on a failed
+    // disk serve only once the slot is restored), then time the writes,
+    // redirected to this round's spare targets.
+    std::vector<array::Op> writes;
+    for (auto& [logical, buffers] : rec.staged) {
+      const int phys = arr.physical_disk(logical, s);
+      const int target = placement.target_for(phys, s);
+      for (int j = 0; j < rows; ++j) {
+        arr.restore_element(logical, s, j,
+                            buffers[static_cast<std::size_t>(j)]);
+        array::Op op{logical, s, j, disk::IoKind::kWrite};
+        if (target >= 0) op.redirect_phys = target;
+        writes.push_back(op);
+      }
+    }
+
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRebuildIssue;
+      ev.t_s = 0.0;
+      ev.stripe = s;
+      ev.rebuild = true;
+      ob->emit(ev);
+    }
+    const auto rstats = arr.execute(reads, 0.0);
+    report.stripe_read_done_s.push_back(rstats.end_s);
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRebuildComplete;
+      ev.t_s = rstats.end_s;
+      ev.stripe = s;
+      ev.rebuild = true;
+      ob->emit(ev);
+    }
+    report.read_makespan_s = std::max(report.read_makespan_s, rstats.end_s);
+    report.logical_bytes_read += rstats.logical_bytes_read;
+    absorb(rstats);
+    const auto wstats = arr.execute(writes, rstats.end_s);
+    report.total_makespan_s = std::max(report.total_makespan_s, wstats.end_s);
+    report.logical_bytes_recovered += wstats.logical_bytes_written;
+    absorb(wstats);
+
+    report.elements_read += reads.size();
+    report.elements_written += writes.size();
+    ++processed;
+  }
+  report.total_makespan_s =
+      std::max(report.total_makespan_s, report.read_makespan_s);
+  report.stripes_processed = processed;
+  report.latent_sectors_hit = fc.latent_sectors_hit;
+  report.fallback_to_mirror = fc.fallback_to_mirror;
+  report.fallback_to_parity = fc.fallback_to_parity;
+  report.fallback_to_codec = fc.fallback_to_codec;
+  report.unrecoverable_elements = fc.unrecoverable_elements;
+
+  if (ob != nullptr) {
+    ob->count("recon.bytes_read", report.logical_bytes_read);
+    ob->count("recon.bytes_recovered", report.logical_bytes_recovered);
+  }
+
+  if (interrupted) {
+    // Record the watermark; disks stay failed, verification is deferred
+    // to the completing round. Multi-round placement history collapses
+    // to the latest round's placement (see RebuildCheckpoint docs).
+    report.completed = false;
+    ck->failed = failed_physical;
+    ck->stripes_done = next_stripe;
+    ck->elements_restored += report.elements_written;
+    ck->unrecoverable = skip;
+    ck->placement = placement.active() ? placement : ck->placement;
+    return report;
+  }
+
+  for (const int p : failed_physical)
+    SMA_RETURN_IF_ERROR(arr.physical(p).heal());
+  if (ob != nullptr) {
+    for (const int p : failed_physical) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kHeal;
+      ev.t_s = report.total_makespan_s;
+      ev.disk = p;
+      ob->emit(ev);
+    }
+  }
+  if (ck != nullptr) ck->reset();
+  if (opts.verify) {
+    Status ok = arr.verify_consistency(skip.empty() ? nullptr : &skip);
+    if (!ok.is_ok()) return ok;
+  }
+  return report;
+}
+
 }  // namespace
 
 Result<ReconReport> reconstruct(array::DiskArray& arr,
                                 const ReconOptions& opts) {
+  // Orchestration features route to the dedicated path; the default
+  // path below is untouched and stays bit-identical.
+  if (opts.checkpoint != nullptr || opts.max_stripes >= 0 ||
+      (opts.spare_placement != nullptr && opts.spare_placement->active()))
+    return reconstruct_orchestrated(arr, opts);
+
   const auto failed_physical = arr.failed_physical();
   ReconReport report;
   if (failed_physical.empty()) return report;
@@ -404,9 +640,16 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
       }
     }
   }
-  for (const int p : failed_physical) arr.physical(p).heal();
+  for (const int p : failed_physical)
+    SMA_RETURN_IF_ERROR(arr.physical(p).heal());
 
   // Phase 3: timing on fresh timelines.
+  report.stripes_processed = arr.stripes();
+  for (int s = 0; s < arr.stripes(); ++s) {
+    report.elements_read += stripe_reads[static_cast<std::size_t>(s)].size();
+    report.elements_written +=
+        stripe_writes[static_cast<std::size_t>(s)].size();
+  }
   arr.reset_timelines();
   auto absorb = [&report](const array::BatchStats& stats) {
     report.retried_ops += stats.retried_ops;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "array/disk_array.hpp"
+#include "repair/checkpoint.hpp"
 #include "util/status.hpp"
 
 namespace sma::recon {
@@ -43,6 +44,23 @@ struct ReconOptions {
   /// emits rebuild batch issue/complete events, every disk emits its
   /// service spans, and each healed disk emits kHeal at the rebuild end.
   obs::Attach observer;
+
+  // --- repair orchestration (all inert by default) ---------------------
+  /// Progress watermark (borrowed, caller-owned). When set, the rebuild
+  /// resumes from the checkpoint instead of restarting (see
+  /// repair::RebuildCheckpoint for the per-stripe skip/partial/dirty
+  /// rules) and, if interrupted by `max_stripes`, records where it
+  /// stopped instead of healing. nullptr = restart-from-scratch
+  /// semantics, bit-identical to the pre-orchestration executor.
+  repair::RebuildCheckpoint* checkpoint = nullptr;
+  /// Stripe budget for this call: stop after rebuilding this many
+  /// stripes (skipped checkpoint-covered stripes are free). Requires
+  /// `checkpoint`; -1 = unbounded.
+  int max_stripes = -1;
+  /// Spare placement redirecting replacement writes (and resumed-rebuild
+  /// reads) onto spare targets (borrowed, caller-owned). nullptr or an
+  /// inactive placement = rebuild in place.
+  const repair::SparePlacement* spare_placement = nullptr;
 };
 
 struct ReconReport {
@@ -78,6 +96,20 @@ struct ReconReport {
   /// Elements with no surviving redundancy path: zero-filled, excluded
   /// from verification, reported instead of aborting the rebuild.
   std::uint64_t unrecoverable_elements = 0;
+
+  // --- orchestration accounting ----------------------------------------
+  /// Stripes this call actually rebuilt (full or partial).
+  int stripes_processed = 0;
+  /// Checkpoint-covered stripes skipped outright on resume.
+  int stripes_skipped = 0;
+  /// Element reads / replacement writes this call issued to the timing
+  /// model. On a checkpoint resume these are strictly smaller than a
+  /// from-scratch restart's — the measurable win of checkpointing.
+  std::uint64_t elements_read = 0;
+  std::uint64_t elements_written = 0;
+  /// False when `max_stripes` interrupted the rebuild: disks are still
+  /// failed, the checkpoint holds the watermark, verification deferred.
+  bool completed = true;
 
   /// True when at least one element could not be recovered.
   bool degraded() const { return unrecoverable_elements > 0; }

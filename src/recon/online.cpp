@@ -217,6 +217,28 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     if (!plan_stripe(s)) return internal_error("initial rebuild plan failed");
 
   OnlineReport report;
+
+  // Lifecycle tracking, derived through the header-inline
+  // repair::classify (sma_recon does not link sma_repair): transitions
+  // become typed kStateChange events and the report's final_state.
+  std::vector<int> lc_failed = initial_failed;
+  auto lc_update = [&](double t, bool rebuilding) {
+    const repair::ArrayState next =
+        repair::classify(arch, lc_failed, rebuilding, false);
+    if (next == report.final_state) return;
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kStateChange;
+      ev.t_s = t;
+      ev.state_from = static_cast<int>(report.final_state);
+      ev.state_to = static_cast<int>(next);
+      ob->emit(ev);
+    }
+    report.final_state = next;
+    ++report.state_changes;
+  };
+  lc_update(0.0, true);  // the initial failure, rebuild about to start
+
   SampleSet read_latencies;
   SampleSet degraded_latencies;
   SampleSet write_latencies;
@@ -280,6 +302,8 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       }
       if (rebuild_remaining == 0) {
         report.rebuild_done_s = sim.now();
+        lc_failed.clear();  // every lost element has a recovered copy
+        lc_update(sim.now(), false);
         if (ob != nullptr) {
           // Aggregate marker: the whole rebuild drained.
           obs::TraceEvent done;
@@ -537,6 +561,8 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   // by both the configured second-failure injection and FaultProfile-
   // scheduled fail-stops that manifest in dispatch.
   handle_disk_death = [&](int dead) {
+    lc_failed.push_back(dead);
+    lc_update(sim.now(), true);
     // Forget every queued rebuild job (their stripes get replanned).
     for (auto& q : queues) {
       for (const auto& job : q.rebuild) {

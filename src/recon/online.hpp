@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "array/disk_array.hpp"
+#include "repair/lifecycle.hpp"
 #include "util/stats.hpp"
 #include "workload/arrival.hpp"
 #include "workload/qos.hpp"
@@ -135,6 +136,15 @@ struct OnlineReport {
   /// FaultProfile-scheduled fail-stops that manifested mid-run and were
   /// absorbed through the second-failure replanning machinery.
   int fail_stops_absorbed = 0;
+
+  // --- lifecycle (derived via repair::classify) ------------------------
+  /// Array state when the run drained: kHealthy after a completed
+  /// rebuild, kRebuilding/kCritical if requests outlived the rebuild
+  /// accounting, kDataLoss if an absorbed failure was fatal.
+  repair::ArrayState final_state = repair::ArrayState::kHealthy;
+  /// Lifecycle transitions observed (each also emitted as a typed
+  /// kStateChange trace event when an observer is attached).
+  int state_changes = 0;
 };
 
 /// Run the on-line rebuild of `arr`'s failed physical disks (mirror

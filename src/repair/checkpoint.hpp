@@ -1,0 +1,77 @@
+// Rebuild checkpoint — a stripe-granular progress watermark that makes
+// rebuilds resumable.
+//
+// The executor processes stripes in index order, so progress compresses
+// to one number: stripes [0, stripes_done) are fully rebuilt for the
+// recorded failed-disk set. An interrupted rebuild (throttle pause,
+// stripe budget, second failure) leaves the watermark behind; the next
+// reconstruct() call classifies each already-covered stripe instead of
+// restarting from zero:
+//
+//  * same failed set, spare target alive  -> skip (restored slots serve)
+//  * grown failed set, spare target alive -> partial: rebuild only the
+//    new disks; the previously rebuilt disks act as live sources
+//  * the recorded spare target of a covered stripe died ("dirty")
+//    -> full re-rebuild of that stripe from surviving redundancy
+//
+// Dirt is judged against the placement stored *in the checkpoint*, not
+// the current one: after a second failure the orchestrator recomputes
+// survivors, and the current placement never maps onto the dead spare.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "array/disk_array.hpp"
+#include "repair/spare_pool.hpp"
+
+namespace sma::repair {
+
+struct RebuildCheckpoint {
+  /// Failed physical disks the watermark covers (sorted ascending, the
+  /// DiskArray::failed_physical() order).
+  std::vector<int> failed;
+  /// Stripes [0, stripes_done) are fully rebuilt for `failed`.
+  int stripes_done = 0;
+  /// Elements restored under this watermark (progress accounting).
+  std::uint64_t elements_restored = 0;
+  /// Elements that lost every redundancy path in earlier rounds; the
+  /// final verification excludes them.
+  array::ElementSet unrecoverable;
+  /// Spare placement the watermark was written under (dirty-stripe
+  /// detection after a spare target dies).
+  SparePlacement placement;
+
+  bool valid() const { return stripes_done > 0 && !failed.empty(); }
+
+  /// Every checkpointed disk is still failed now: resuming is legal.
+  /// `now_failed` must be sorted ascending.
+  bool covered_by(const std::vector<int>& now_failed) const {
+    return std::includes(now_failed.begin(), now_failed.end(),
+                         failed.begin(), failed.end());
+  }
+
+  /// A covered stripe whose recorded rebuilt copy landed on a disk that
+  /// is failed *now* must be re-rebuilt from scratch.
+  bool stripe_dirty(int stripe, const std::vector<int>& now_failed) const {
+    for (const int p : failed) {
+      const int target = placement.target_for(p, stripe);
+      if (target >= 0 &&
+          std::find(now_failed.begin(), now_failed.end(), target) !=
+              now_failed.end())
+        return true;
+    }
+    return false;
+  }
+
+  void reset() {
+    failed.clear();
+    stripes_done = 0;
+    elements_restored = 0;
+    unrecoverable.clear();
+    placement = SparePlacement{};
+  }
+};
+
+}  // namespace sma::repair

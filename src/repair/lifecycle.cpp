@@ -1,0 +1,94 @@
+#include "repair/lifecycle.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sma::repair {
+
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+void erase_value(std::vector<int>& v, int x) {
+  v.erase(std::remove(v.begin(), v.end(), x), v.end());
+}
+
+}  // namespace
+
+Lifecycle::Lifecycle(layout::Architecture arch, obs::Attach observer)
+    : arch_(std::move(arch)), observer_(observer) {}
+
+Status Lifecycle::reclassify(double t_s, const std::string& reason) {
+  const ArrayState next =
+      classify(arch_, failed_, !repairing_.empty(), spare_starved_);
+  if (next == state_) return Status::ok();
+  history_.push_back({t_s, state_, next, reason});
+  if (obs::Observer* ob = observer_.get(); ob != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kStateChange;
+    ev.t_s = t_s;
+    ev.state_from = static_cast<int>(state_);
+    ev.state_to = static_cast<int>(next);
+    ob->emit(ev);
+    ob->count("repair.state_changes");
+  }
+  state_ = next;
+  return Status::ok();
+}
+
+Status Lifecycle::on_failure(double t_s, int disk) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  if (disk < 0 || disk >= arch_.total_disks())
+    return invalid_argument("failure of unknown disk " + std::to_string(disk));
+  if (contains(failed_, disk))
+    return failed_precondition("disk " + std::to_string(disk) +
+                               " failed twice without a repair");
+  failed_.push_back(disk);
+  std::sort(failed_.begin(), failed_.end());
+  return reclassify(t_s, "failure of disk " + std::to_string(disk));
+}
+
+Status Lifecycle::on_repair_start(double t_s, int disk) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  if (!contains(failed_, disk))
+    return failed_precondition("repair of disk " + std::to_string(disk) +
+                               " that is not failed");
+  if (contains(repairing_, disk))
+    return failed_precondition("repair of disk " + std::to_string(disk) +
+                               " started twice");
+  repairing_.push_back(disk);
+  spare_starved_ = false;
+  return reclassify(t_s, "repair start of disk " + std::to_string(disk));
+}
+
+Status Lifecycle::on_repair_complete(double t_s, int disk) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  if (!contains(repairing_, disk))
+    return failed_precondition("repair completion of disk " +
+                               std::to_string(disk) +
+                               " that was never started");
+  erase_value(repairing_, disk);
+  erase_value(failed_, disk);
+  return reclassify(t_s, "repair complete of disk " + std::to_string(disk));
+}
+
+Status Lifecycle::on_spare_exhausted(double t_s) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  spare_starved_ = true;
+  return reclassify(t_s, "spare pool exhausted");
+}
+
+Status Lifecycle::on_spare_available(double t_s) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  spare_starved_ = false;
+  return reclassify(t_s, "spare pool replenished");
+}
+
+}  // namespace sma::repair

@@ -1,0 +1,130 @@
+// Array lifecycle state machine — failures as a managed lifecycle.
+//
+// The paper's availability argument is about the window between a
+// failure and the end of its rebuild; this module names the states of
+// that window and polices the transitions between them:
+//
+//           +--> spare-exhausted --+
+//           |                      v
+//   healthy --> degraded --> rebuilding --> healthy
+//                   |            |
+//                   v            v
+//                critical --> data-loss   (terminal)
+//
+// The state is *derived*, never set directly: classify() computes it
+// from the failed-disk set (exact recoverability via the
+// recon::is_recoverable oracle), whether a rebuild is in flight, and
+// whether the spare pool can serve the next repair. "critical" means
+// at least one further single-disk failure would lose data — for a
+// plain mirror that is already the first failure (the paper's whole
+// point); tolerance-2 architectures visit "degraded" first.
+//
+// Lifecycle wraps classify() with event bookkeeping: every transition
+// is recorded in history() and emitted as a typed obs kStateChange
+// trace event, and malformed event sequences (failing a failed disk,
+// completing a repair that never started, any event after data loss)
+// return a Status instead of corrupting the machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/architecture.hpp"
+#include "obs/observer.hpp"
+#include "recon/reliability.hpp"
+#include "util/status.hpp"
+
+namespace sma::repair {
+
+enum class ArrayState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kRebuilding = 2,
+  kCritical = 3,
+  kSpareExhausted = 4,
+  kDataLoss = 5,
+};
+
+/// Stable lowercase name ("healthy", "data_loss", ...). Inline so the
+/// recon layer can use it without linking sma_repair.
+inline const char* to_string(ArrayState state) {
+  switch (state) {
+    case ArrayState::kHealthy: return "healthy";
+    case ArrayState::kDegraded: return "degraded";
+    case ArrayState::kRebuilding: return "rebuilding";
+    case ArrayState::kCritical: return "critical";
+    case ArrayState::kSpareExhausted: return "spare_exhausted";
+    case ArrayState::kDataLoss: return "data_loss";
+  }
+  return "unknown";
+}
+
+/// Derive the lifecycle state from first principles. `failed` is the
+/// physical failed-disk set (architecture numbering), `rebuilding` is
+/// whether any repair is in flight, `spare_starved` whether a needed
+/// repair is waiting on an empty spare pool. Severity wins: data loss
+/// over critical over the repair-progress states.
+inline ArrayState classify(const layout::Architecture& arch,
+                           const std::vector<int>& failed, bool rebuilding,
+                           bool spare_starved) {
+  if (failed.empty()) return ArrayState::kHealthy;
+  if (!recon::is_recoverable(arch, failed)) return ArrayState::kDataLoss;
+  auto is_failed = [&](int d) {
+    for (const int f : failed)
+      if (f == d) return true;
+    return false;
+  };
+  for (int d = 0; d < arch.total_disks(); ++d) {
+    if (is_failed(d)) continue;
+    std::vector<int> next = failed;
+    next.push_back(d);
+    if (!recon::is_recoverable(arch, next)) return ArrayState::kCritical;
+  }
+  if (spare_starved) return ArrayState::kSpareExhausted;
+  return rebuilding ? ArrayState::kRebuilding : ArrayState::kDegraded;
+}
+
+/// One recorded lifecycle transition.
+struct Transition {
+  double t_s = 0.0;
+  ArrayState from = ArrayState::kHealthy;
+  ArrayState to = ArrayState::kHealthy;
+  std::string reason;
+};
+
+class Lifecycle {
+ public:
+  explicit Lifecycle(layout::Architecture arch, obs::Attach observer = {});
+
+  ArrayState state() const { return state_; }
+  bool terminal() const { return state_ == ArrayState::kDataLoss; }
+  const std::vector<int>& failed() const { return failed_; }
+  const std::vector<int>& repairing() const { return repairing_; }
+  const std::vector<Transition>& history() const { return history_; }
+
+  // --- events (each reclassifies; invalid sequences return a Status) ---
+  /// A disk died. Reaching an unrecoverable set transitions to the
+  /// terminal kDataLoss state (and is itself a *valid* event).
+  Status on_failure(double t_s, int disk);
+  /// A repair of `disk` began (spare allocated, rebuild I/O running).
+  Status on_repair_start(double t_s, int disk);
+  /// The repair of `disk` finished: the disk rejoins the array.
+  Status on_repair_complete(double t_s, int disk);
+  /// A needed repair found the spare pool empty / replenished again.
+  Status on_spare_exhausted(double t_s);
+  Status on_spare_available(double t_s);
+
+ private:
+  Status reclassify(double t_s, const std::string& reason);
+
+  layout::Architecture arch_;
+  obs::Attach observer_;
+  ArrayState state_ = ArrayState::kHealthy;
+  std::vector<int> failed_;
+  std::vector<int> repairing_;
+  bool spare_starved_ = false;
+  std::vector<Transition> history_;
+};
+
+}  // namespace sma::repair

@@ -1,0 +1,127 @@
+#include "repair/orchestrator.hpp"
+
+#include <algorithm>
+
+namespace sma::repair {
+
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+RepairOrchestrator::RepairOrchestrator(array::DiskArray& arr, RepairConfig cfg)
+    : arr_(arr),
+      cfg_(std::move(cfg)),
+      lifecycle_(arr.arch(), cfg_.observer),
+      pool_(cfg_.spare, arr.total_disks()) {
+  report_.policy = cfg_.spare.policy;
+}
+
+Status RepairOrchestrator::admit_failures(double t_s) {
+  for (const int d : arr_.failed_physical()) {
+    if (lifecycle_.terminal()) break;  // data already lost: nothing to admit
+    if (contains(lifecycle_.failed(), d)) continue;
+    SMA_RETURN_IF_ERROR(lifecycle_.on_failure(t_s, d));
+  }
+  return Status::ok();
+}
+
+Status RepairOrchestrator::prepare_placement(double t_s,
+                                             const std::vector<int>& failed) {
+  if (cfg_.spare.inert()) return Status::ok();
+  placement_.policy = cfg_.spare.policy;
+  if (cfg_.spare.policy == SparePolicy::kDistributed) {
+    // Survivors shrink as failures accumulate; recomputed every round.
+    placement_.survivors.clear();
+    for (int d = 0; d < arr_.total_disks(); ++d)
+      if (!contains(failed, d)) placement_.survivors.push_back(d);
+  }
+  for (const int f : failed) {
+    bool needs_spare = false;
+    if (cfg_.spare.policy == SparePolicy::kDedicated) {
+      const auto it = placement_.spare_of.find(f);
+      // No spare yet, or the assigned spare died mid-rebuild.
+      needs_spare =
+          it == placement_.spare_of.end() || arr_.physical(it->second).failed();
+    } else {
+      needs_spare = allocated_.count(f) == 0;
+    }
+    if (!needs_spare) continue;
+    auto unit = pool_.allocate();
+    if (!unit.is_ok()) {
+      // Pool empty: record the state; this disk rebuilds in place
+      // (no redirect target) rather than waiting forever.
+      SMA_RETURN_IF_ERROR(lifecycle_.on_spare_exhausted(t_s));
+      continue;
+    }
+    if (cfg_.spare.policy == SparePolicy::kDedicated)
+      placement_.spare_of[f] = unit.value();
+    allocated_.insert(f);
+  }
+  return Status::ok();
+}
+
+Result<RepairReport> RepairOrchestrator::run(double t_s, int max_rounds) {
+  if (cfg_.stripes_per_round == 0 || cfg_.stripes_per_round < -1)
+    return invalid_argument(
+        "RepairConfig::stripes_per_round must be positive or -1");
+  if (cfg_.stripes_per_round > 0 && !cfg_.checkpointing)
+    return failed_precondition(
+        "a bounded stripe budget requires checkpointing to resume");
+  if (cfg_.spare.policy == SparePolicy::kDedicated &&
+      cfg_.spare.count > arr_.config().spare_disks)
+    return failed_precondition(
+        "dedicated sparing needs ArrayConfig::spare_disks >= "
+        "SpareConfig::count (" +
+        std::to_string(arr_.config().spare_disks) + " < " +
+        std::to_string(cfg_.spare.count) + ")");
+
+  SMA_RETURN_IF_ERROR(admit_failures(t_s));
+  double clock = t_s;
+  int rounds = 0;
+  while (!lifecycle_.terminal()) {
+    const auto failed = arr_.failed_physical();
+    if (failed.empty()) break;
+    if (max_rounds >= 0 && rounds >= max_rounds) break;
+
+    SMA_RETURN_IF_ERROR(prepare_placement(clock, failed));
+    for (const int f : failed)
+      if (!contains(lifecycle_.repairing(), f))
+        SMA_RETURN_IF_ERROR(lifecycle_.on_repair_start(clock, f));
+
+    recon::ReconOptions opts = cfg_.recon;
+    opts.observer = cfg_.observer;
+    opts.checkpoint = cfg_.checkpointing ? &ck_ : nullptr;
+    opts.max_stripes = cfg_.stripes_per_round;
+    opts.spare_placement = placement_.active() ? &placement_ : nullptr;
+    auto round = recon::reconstruct(arr_, opts);
+    if (!round.is_ok()) return round.status();
+    const recon::ReconReport& rep = round.value();
+
+    ++rounds;
+    ++report_.rounds;
+    report_.elements_read += rep.elements_read;
+    report_.elements_written += rep.elements_written;
+    report_.read_makespan_s += rep.read_makespan_s;
+    report_.total_makespan_s += rep.total_makespan_s;
+    report_.unrecoverable_elements += rep.unrecoverable_elements;
+    clock += rep.total_makespan_s;
+
+    if (rep.completed) {
+      for (const int f : failed)
+        SMA_RETURN_IF_ERROR(lifecycle_.on_repair_complete(clock, f));
+      placement_ = SparePlacement{};
+      allocated_.clear();
+    }
+  }
+
+  report_.final_state = lifecycle_.state();
+  report_.transitions = lifecycle_.history();
+  report_.spares_used = pool_.consumed_total();
+  return report_;
+}
+
+}  // namespace sma::repair

@@ -1,0 +1,27 @@
+#include "repair/spare_pool.hpp"
+
+#include <algorithm>
+
+namespace sma::repair {
+
+SparePool::SparePool(SpareConfig cfg, int first_spare_phys)
+    : cfg_(cfg), first_spare_(first_spare_phys) {}
+
+Result<int> SparePool::allocate() {
+  if (cfg_.policy == SparePolicy::kNone)
+    return failed_precondition("allocate() on a pool with no spare policy");
+  if (available() <= 0)
+    return failed_precondition("spare pool exhausted (" +
+                               std::to_string(cfg_.count) +
+                               " spares all consumed)");
+  const int unit = consumed_++;
+  ++consumed_total_;
+  if (cfg_.policy == SparePolicy::kDedicated) return first_spare_ + unit;
+  return -1;
+}
+
+void SparePool::replenish(int units) {
+  consumed_ = std::max(0, consumed_ - std::max(0, units));
+}
+
+}  // namespace sma::repair

@@ -1,0 +1,127 @@
+// Spare pool — where a failed disk's rebuilt contents go.
+//
+// Two policies, after Thomasian's self-repairing-array taxonomy:
+//
+//  * kDedicated — hot-spare disks standing by next to the array. Every
+//    replacement write of one rebuild lands on a single spare, so the
+//    write phase serializes on it: the classic hot-spare bottleneck.
+//  * kDistributed — reserve capacity spread across the survivors. Each
+//    stripe's replacement writes go to a (round-robin) surviving disk,
+//    so the write phase spreads like the shifted arrangement spreads
+//    the replica reads — measurably faster than the dedicated spare.
+//
+// SparePool does the accounting (capacity left, exhaustion);
+// SparePlacement is the pure mapping "failed disk x stripe -> physical
+// target" the executor uses to redirect timed I/O. Placement is kept
+// header-inline so the recon executor can consult it without a link
+// dependency on sma_repair.
+//
+// Modeling note: contents are always restored to the failed disk's own
+// SimDisk object (the spare assumes the dead disk's identity on heal);
+// placement redirects only the *timed* I/O. Distributed placement is
+// stripe-granular — one survivor absorbs one stripe's writes for one
+// failed disk — which is what lets a checkpointed rebuild re-rebuild
+// only the stripes whose spare target later died.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sma::repair {
+
+enum class SparePolicy : std::uint8_t {
+  kNone = 0,         // no sparing: rebuild in place (the inert default)
+  kDedicated = 1,    // hot-spare disks
+  kDistributed = 2,  // reserve capacity on survivors
+};
+
+inline const char* to_string(SparePolicy policy) {
+  switch (policy) {
+    case SparePolicy::kNone: return "none";
+    case SparePolicy::kDedicated: return "dedicated";
+    case SparePolicy::kDistributed: return "distributed";
+  }
+  return "unknown";
+}
+
+struct SpareConfig {
+  SparePolicy policy = SparePolicy::kNone;
+  /// kDedicated: hot-spare disks available (ArrayConfig::spare_disks
+  /// must provision at least this many). kDistributed: concurrent
+  /// repairs the survivors' reserve capacity covers before the pool is
+  /// exhausted.
+  int count = 0;
+
+  bool inert() const { return policy == SparePolicy::kNone || count <= 0; }
+};
+
+/// The pure placement map: which physical disk holds the rebuilt copy
+/// of a failed disk's elements in a given stripe.
+struct SparePlacement {
+  SparePolicy policy = SparePolicy::kNone;
+  /// kDedicated: failed physical disk -> hot-spare physical disk.
+  std::map<int, int> spare_of;
+  /// kDistributed: surviving disks absorbing replacement writes,
+  /// round-robin over stripes.
+  std::vector<int> survivors;
+
+  bool active() const { return policy != SparePolicy::kNone; }
+
+  /// Physical target of `failed_phys`'s rebuilt elements in `stripe`;
+  /// -1 when the placement does not cover that disk.
+  int target_for(int failed_phys, int stripe) const {
+    switch (policy) {
+      case SparePolicy::kNone:
+        return -1;
+      case SparePolicy::kDedicated: {
+        const auto it = spare_of.find(failed_phys);
+        return it == spare_of.end() ? -1 : it->second;
+      }
+      case SparePolicy::kDistributed: {
+        if (survivors.empty()) return -1;
+        const auto idx = static_cast<std::size_t>(stripe + failed_phys) %
+                         survivors.size();
+        return survivors[idx];
+      }
+    }
+    return -1;
+  }
+};
+
+/// Capacity accounting for one array's spares.
+class SparePool {
+ public:
+  SparePool() = default;
+  /// `first_spare_phys` is the physical id of the first hot-spare disk
+  /// (DiskArray numbers them total_disks()..); only kDedicated uses it.
+  SparePool(SpareConfig cfg, int first_spare_phys);
+
+  const SpareConfig& config() const { return cfg_; }
+  int available() const { return cfg_.count - consumed_; }
+  bool exhausted() const { return !cfg_.inert() && available() <= 0; }
+  /// Spares consumed since construction (never decremented; replenish
+  /// restores capacity, not history).
+  int consumed_total() const { return consumed_total_; }
+
+  /// Consume one unit: kDedicated returns the hot-spare physical id,
+  /// kDistributed returns -1 (capacity lives on the survivors),
+  /// kNone is an error (nothing to allocate). kFailedPrecondition when
+  /// the pool is empty — the caller reports spare exhaustion to the
+  /// lifecycle instead of aborting.
+  Result<int> allocate();
+  /// Return `units` of capacity (replacement installed / copyback
+  /// done). Capacity never exceeds the configured count.
+  void replenish(int units = 1);
+
+ private:
+  SpareConfig cfg_;
+  int first_spare_ = -1;
+  int consumed_ = 0;
+  int consumed_total_ = 0;
+};
+
+}  // namespace sma::repair

@@ -121,7 +121,7 @@ TEST(SimDisk, FailScramblesContentAndHealRestoresService) {
   EXPECT_FALSE(d.fully_restored());
   d.restore_content(1, bytes);
   EXPECT_TRUE(d.fully_restored());
-  d.heal();
+  ASSERT_TRUE(d.heal().is_ok());
   EXPECT_FALSE(d.failed());
   EXPECT_EQ(d.content(0)[0], 0x42);  // restored, not scramble pattern
   d.submit_ok(IoKind::kWrite, 0, 0.0);  // usable again
@@ -295,10 +295,58 @@ TEST(SimDiskFaults, HealDiscardsLatentSetAndConsumedFailStop) {
   d.fail();
   const std::vector<std::uint8_t> bytes(8, 0xAA);
   for (std::int64_t s = 0; s < 20; ++s) d.restore_content(s, bytes);
-  d.heal();
+  ASSERT_TRUE(d.heal().is_ok());
   // Replacement hardware: no latent sectors, no pending fail-stop.
   EXPECT_EQ(d.latent_slot_count(), 0);
   EXPECT_TRUE(d.submit(IoKind::kRead, 0, 200.0).is_ok());
+}
+
+TEST(SimDisk, HealMisuseReturnsStatus) {
+  SimDisk d(0, flat_spec(), 2, 8, 1'000'000);
+  // Healing a disk that never failed is a recoverable error, not an
+  // abort: the repair orchestrator reports it up as a Status.
+  Status never_failed = d.heal();
+  ASSERT_FALSE(never_failed.is_ok());
+  EXPECT_EQ(never_failed.code(), ErrorCode::kFailedPrecondition);
+  d.fail();
+  const std::vector<std::uint8_t> bytes(8, 0x5A);
+  d.restore_content(0, bytes);  // slot 1 never restored
+  Status partial = d.heal();
+  ASSERT_FALSE(partial.is_ok());
+  EXPECT_EQ(partial.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(d.failed());  // the failed state is untouched by the misuse
+  d.restore_content(1, bytes);
+  EXPECT_TRUE(d.heal().is_ok());
+  EXPECT_FALSE(d.failed());
+}
+
+TEST(SimDisk, RestoredSlotsServeOnFailedDisk) {
+  SimDisk d(0, flat_spec(), 2, 8, 1'000'000);
+  d.fail();
+  const std::vector<std::uint8_t> bytes(8, 0x5A);
+  d.restore_content(0, bytes);
+  EXPECT_TRUE(d.slot_restored(0));
+  // The replacement serves rebuilt slots mid-rebuild — reads for a
+  // resumed rebuild and the replacement writes themselves.
+  EXPECT_TRUE(d.submit(IoKind::kRead, 0, 0.0).is_ok());
+  EXPECT_TRUE(d.submit(IoKind::kWrite, 0, 0.0).is_ok());
+  // Everything not yet restored is still dead.
+  const IoResult unrestored = d.submit(IoKind::kRead, 1, 0.0);
+  ASSERT_FALSE(unrestored.is_ok());
+  EXPECT_EQ(unrestored.status().code(), ErrorCode::kIoError);
+}
+
+TEST(SimDiskFaults, FailStopAtTimeZeroKillsFirstAccess) {
+  FaultProfile p;
+  p.fail_at_s = 0.0;
+  SimDisk d(0, flat_spec(), 10, 16, 1'000'000);
+  d.set_fault_profile(p);
+  // Every access starts at t >= 0: the very first one fail-stops.
+  const IoResult res = d.submit(IoKind::kRead, 0, 0.0);
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kIoError);
+  EXPECT_TRUE(d.failed());
+  EXPECT_EQ(d.counters().reads, 0u);  // died before serving anything
 }
 
 }  // namespace

@@ -25,13 +25,10 @@ TEST(InvariantDeath, OutOfRangeContentAborts) {
   EXPECT_DEATH(d.content(-1), "slot");
 }
 
-TEST(InvariantDeath, HealWithoutFullRestorationAborts) {
-  disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 2, 16, 1000);
-  d.fail();
-  const std::vector<std::uint8_t> bytes(16, 0x5A);
-  d.restore_content(0, bytes);  // slot 1 never restored
-  EXPECT_DEATH(d.heal(), "restoration");
-}
+// heal() misuse is no longer a process abort either: it returns
+// kFailedPrecondition so the repair orchestrator can treat a bad heal
+// as a recoverable error (see disk_sim_disk_test.cpp,
+// SimDisk.HealMisuseReturnsStatus).
 
 TEST(InvariantDeath, RestoreContentOnHealthyDiskAborts) {
   disk::SimDisk d(0, disk::DiskSpec::savvio_10k3(), 2, 16, 1000);

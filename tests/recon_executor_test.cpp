@@ -254,6 +254,138 @@ TEST(Executor, BytesRecoveredEqualsFailedDiskCapacity) {
   EXPECT_EQ(report.value().logical_bytes_recovered, capacity);
 }
 
+// --- checkpointed / resumable rebuilds ------------------------------------
+
+TEST(Executor, CheckpointInterruptAndResume) {
+  const auto arch = layout::Architecture::mirror(4, true);  // 8 stripes
+  array::DiskArray arr(cfg_for(arch));
+  arr.initialize();
+  arr.fail_physical(2);
+
+  repair::RebuildCheckpoint ck;
+  ReconOptions opts;
+  opts.checkpoint = &ck;
+  opts.max_stripes = 3;
+  auto first = reconstruct(arr, opts);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_FALSE(first.value().completed);
+  EXPECT_EQ(first.value().stripes_processed, 3);
+  EXPECT_EQ(first.value().stripes_skipped, 0);
+  EXPECT_EQ(ck.stripes_done, 3);
+  EXPECT_TRUE(ck.valid());
+  EXPECT_EQ(ck.failed, std::vector<int>{2});
+  // Interrupted: the disk is still failed, verification deferred.
+  EXPECT_EQ(arr.failed_physical(), std::vector<int>{2});
+
+  opts.max_stripes = -1;
+  auto second = reconstruct(arr, opts);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_TRUE(second.value().completed);
+  EXPECT_EQ(second.value().stripes_skipped, 3);  // covered stripes are free
+  EXPECT_EQ(second.value().stripes_processed, arr.stripes() - 3);
+  EXPECT_FALSE(ck.valid());  // reset once the rebuild lands
+  EXPECT_TRUE(arr.failed_physical().empty());
+  EXPECT_TRUE(arr.verify_all().is_ok());
+  // Both rounds together did exactly one full rebuild's I/O.
+  array::DiskArray fresh(cfg_for(arch));
+  fresh.initialize();
+  fresh.fail_physical(2);
+  auto whole = reconstruct(fresh);
+  ASSERT_TRUE(whole.is_ok());
+  EXPECT_EQ(first.value().elements_read + second.value().elements_read,
+            whole.value().elements_read);
+  EXPECT_EQ(first.value().elements_written + second.value().elements_written,
+            whole.value().elements_written);
+}
+
+TEST(Executor, StaleCheckpointForADifferentFailureRestarts) {
+  const auto arch = layout::Architecture::mirror(4, true);
+  array::DiskArray arr(cfg_for(arch));
+  arr.initialize();
+  arr.fail_physical(2);
+  repair::RebuildCheckpoint ck;
+  ck.failed = {5};  // watermark from some other episode
+  ck.stripes_done = 4;
+  ReconOptions opts;
+  opts.checkpoint = &ck;
+  auto report = reconstruct(arr, opts);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().stripes_skipped, 0);  // nothing trustworthy
+  EXPECT_EQ(report.value().stripes_processed, arr.stripes());
+  EXPECT_TRUE(arr.verify_all().is_ok());
+}
+
+TEST(Executor, SecondFailureResumeReadsFewerElementsThanRestart) {
+  // The acceptance scenario: a second disk dies mid-rebuild. Resuming
+  // from the checkpoint re-reads strictly less than restarting, because
+  // the first disk's already-restored stripes only need the new disk
+  // rebuilt (the restored elements even serve as live sources).
+  const auto arch = layout::Architecture::mirror_with_parity(4, true);
+
+  std::uint64_t resumed_reads = 0;
+  {
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    arr.fail_physical(0);
+    repair::RebuildCheckpoint ck;
+    ReconOptions opts;
+    opts.checkpoint = &ck;
+    opts.max_stripes = 4;
+    auto first = reconstruct(arr, opts);
+    ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+    ASSERT_FALSE(first.value().completed);
+    arr.fail_physical(1);  // second failure mid-rebuild
+    opts.max_stripes = -1;
+    auto rest = reconstruct(arr, opts);
+    ASSERT_TRUE(rest.is_ok()) << rest.status().to_string();
+    EXPECT_TRUE(rest.value().completed);
+    // Covered stripes are *partial* (the new disk still needs them), so
+    // none skip outright — the saving shows up in elements_read below.
+    EXPECT_EQ(rest.value().stripes_skipped, 0);
+    EXPECT_EQ(rest.value().stripes_processed, arr.stripes());
+    resumed_reads = first.value().elements_read + rest.value().elements_read;
+    EXPECT_TRUE(arr.failed_physical().empty());
+    EXPECT_TRUE(arr.verify_all().is_ok());
+  }
+
+  std::uint64_t restart_reads = 0;
+  {
+    array::DiskArray arr(cfg_for(arch));
+    arr.initialize();
+    arr.fail_physical(0);
+    repair::RebuildCheckpoint ck;
+    ReconOptions opts;
+    opts.checkpoint = &ck;
+    opts.max_stripes = 4;
+    auto first = reconstruct(arr, opts);
+    ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+    arr.fail_physical(1);
+    // No checkpoint on the second call: rebuild both from scratch.
+    auto rest = reconstruct(arr);
+    ASSERT_TRUE(rest.is_ok()) << rest.status().to_string();
+    restart_reads = first.value().elements_read + rest.value().elements_read;
+    EXPECT_TRUE(arr.verify_all().is_ok());
+  }
+
+  EXPECT_LT(resumed_reads, restart_reads);
+}
+
+TEST(Executor, StripeBudgetRequiresACheckpoint) {
+  const auto arch = layout::Architecture::mirror(3, true);
+  array::DiskArray arr(cfg_for(arch));
+  arr.initialize();
+  arr.fail_physical(0);
+  ReconOptions opts;
+  opts.max_stripes = 2;  // no checkpoint to record the watermark
+  EXPECT_EQ(reconstruct(arr, opts).status().code(),
+            ErrorCode::kInvalidArgument);
+  repair::RebuildCheckpoint ck;
+  opts.checkpoint = &ck;
+  opts.max_stripes = 0;
+  EXPECT_EQ(reconstruct(arr, opts).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
 TEST(Executor, ReportMakespansAreOrdered) {
   const auto arch = layout::Architecture::mirror(4, false);
   array::DiskArray arr(cfg_for(arch));

@@ -195,6 +195,70 @@ TEST(ReconFaults, ExecuteCountsUnreadableSectorsWithoutRetry) {
   EXPECT_EQ(stats.retried_ops, 0u);  // hard error: no retry
   EXPECT_EQ(stats.failed_ops, 1u);
   EXPECT_EQ(stats.unreadable_ops, 1u);
+  EXPECT_EQ(stats.max_retry_depth, 0);
+}
+
+TEST(ReconFaults, ExecuteReportsTheDeepestRetryChain) {
+  auto cfg = base_cfg(layout::Architecture::mirror(2, true));
+  cfg.fault_overrides[0].transient_write_error_p = 1.0;
+  cfg.io_max_retries = 3;
+  array::DiskArray arr(cfg);
+  // Disk 0's op burns the whole budget — the *final* retry attempt
+  // still draws a transient error and the op fails; disk 1's op is
+  // clean and contributes depth 0.
+  std::vector<array::Op> ops{{0, 0, 0, disk::IoKind::kWrite},
+                             {1, 0, 0, disk::IoKind::kWrite}};
+  const auto stats = arr.execute(ops, 0.0);
+  EXPECT_EQ(stats.max_retry_depth, 3);
+  EXPECT_EQ(stats.retried_ops, 3u);
+  EXPECT_EQ(stats.failed_ops, 1u);
+  EXPECT_EQ(arr.physical(0).counters().writes, 4u);  // 1 + 3 attempts
+
+  std::vector<array::Op> clean{{1, 1, 0, disk::IoKind::kWrite}};
+  EXPECT_EQ(arr.execute(clean, 100.0).max_retry_depth, 0);
+}
+
+TEST(ReconFaults, RetryBackoffDelaysResubmissionLinearly) {
+  // Each retry waits retry_backoff_s * attempt after the failed attempt
+  // drains, so an op that exhausts two retries finishes exactly
+  // backoff * (1 + 2) later than with the default immediate retry.
+  auto run = [](double backoff) {
+    auto cfg = base_cfg(layout::Architecture::mirror(2, true));
+    cfg.fault_overrides[0].transient_write_error_p = 1.0;
+    cfg.io_max_retries = 2;
+    cfg.retry_backoff_s = backoff;
+    array::DiskArray arr(cfg);
+    std::vector<array::Op> ops{{0, 0, 0, disk::IoKind::kWrite}};
+    return arr.execute(ops, 0.0);
+  };
+  const auto immediate = run(0.0);
+  const auto delayed = run(0.5);
+  EXPECT_EQ(immediate.retried_ops, delayed.retried_ops);
+  EXPECT_EQ(immediate.max_retry_depth, delayed.max_retry_depth);
+  EXPECT_NEAR(delayed.end_s, immediate.end_s + 0.5 * (1 + 2), 1e-9);
+}
+
+TEST(ReconFaults, TwoDisksFailStoppingAtTheSameInstant) {
+  // Both fail-stops arm at t=0: the first access to either disk kills
+  // it, the batch reports both ops failed, and the double failure is
+  // still recoverable on a tolerance-2 architecture.
+  auto cfg = base_cfg(layout::Architecture::mirror_with_parity(3, true));
+  cfg.fault_overrides[0].fail_at_s = 0.0;
+  cfg.fault_overrides[1].fail_at_s = 0.0;
+  array::DiskArray arr(cfg);
+  arr.initialize();
+
+  std::vector<array::Op> ops{{0, 0, 0, disk::IoKind::kRead},
+                             {1, 0, 0, disk::IoKind::kRead}};
+  const auto stats = arr.execute(ops, 0.0);
+  EXPECT_EQ(stats.failed_ops, 2u);
+  EXPECT_EQ(stats.retried_ops, 0u);  // fail-stop is hard, not transient
+  EXPECT_EQ(arr.failed_physical(), (std::vector<int>{0, 1}));
+
+  auto report = reconstruct(arr);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(arr.failed_physical().empty());
+  EXPECT_TRUE(arr.verify_all().is_ok());
 }
 
 // --- scrub: unreadable sectors as arbitration input ----------------------

@@ -19,6 +19,10 @@
 //   smactl three-mirror --n=5 [--traditional] --fail=0,8
 //   smactl degraded  --n=5 [--traditional] [--reads=2000] [--fail=0]
 //   smactl reliability --n=5 [--parity] [--traditional] [--mttr-h=1]
+//   smactl repair    --n=5 [--parity] [--fail=0] [--policy=dedicated]
+//                    [--spares=1] [--interrupt-after=K] [--second-fail=1]
+//                    | --mc-trials=T [--mttf-h=400] [--mttr-h=1]
+//                    [--enclosure-size=E] [--replenish-h=H]
 //   smactl update-penalty [--n=5]
 #include <cstdio>
 #include <fstream>
@@ -39,6 +43,7 @@
 #include "recon/plan.hpp"
 #include "recon/reliability.hpp"
 #include "recon/scrub.hpp"
+#include "repair/orchestrator.hpp"
 #include "workload/arrival.hpp"
 #include "workload/degraded_read.hpp"
 #include "util/flags.hpp"
@@ -77,6 +82,13 @@ int usage(const char* error = nullptr) {
                "                (--latent=<rate> --transient=<p> --slow=<x>\n"
                "                 --retries=<k> --fault-seed=<s>)\n"
                "  reliability   fatal failure sets + MTTDL estimate\n"
+               "  repair        orchestrated rebuild through the lifecycle\n"
+               "                state machine (--policy=none|dedicated|\n"
+               "                distributed --spares=<k> --interrupt-after=<s>\n"
+               "                --second-fail=<d>), or Monte-Carlo lifetimes\n"
+               "                (--mc-trials=<t> --mttf-h --mttr-h\n"
+               "                 --enclosure-size=<e> --enclosure-factor=<x>\n"
+               "                 --spares=<k> --replenish-h=<h>)\n"
                "  update-penalty  parity updates per data write, by code\n"
                "common flags: --n=<disks> --parity --traditional --seed=<s>\n");
   return 2;
@@ -557,6 +569,128 @@ int cmd_reliability(const Flags& flags) {
   return 0;
 }
 
+int cmd_repair(const Flags& flags) {
+  const auto arch = arch_from(flags);
+
+  // Monte-Carlo lifetime mode: replay whole failure/repair lifetimes
+  // through the lifecycle state machine and print the estimate beside
+  // the closed form it cross-checks.
+  const int mc_trials = flags.get_int("mc-trials", 0);
+  if (mc_trials > 0) {
+    recon::MonteCarloParams params;
+    params.disk_mttf_hours = flags.get_double("mttf-h", 1.0e6);
+    params.mttr_hours = flags.get_double("mttr-h", 10.0);
+    params.trials = mc_trials;
+    params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    params.spare_replenish_hours = flags.get_double("replenish-h", 0.0);
+    const int spares = flags.get_int("spares", 0);
+    if (spares > 0) {
+      const std::string policy = flags.get("policy", "dedicated");
+      if (policy == "dedicated") {
+        params.spare = {repair::SparePolicy::kDedicated, spares};
+      } else if (policy == "distributed") {
+        params.spare = {repair::SparePolicy::kDistributed, spares};
+      } else {
+        return usage("--policy must be dedicated|distributed with --spares");
+      }
+    }
+    const int enclosure = flags.get_int("enclosure-size", 0);
+    if (enclosure > 0) {
+      params.enclosure_of.resize(static_cast<std::size_t>(arch.total_disks()));
+      for (int d = 0; d < arch.total_disks(); ++d)
+        params.enclosure_of[static_cast<std::size_t>(d)] = d / enclosure;
+      params.enclosure_hazard_factor =
+          flags.get_double("enclosure-factor", 10.0);
+    }
+
+    auto mc = recon::simulate_mttdl(arch, params);
+    if (!mc.is_ok()) {
+      std::fprintf(stderr, "repair: %s\n", mc.status().to_string().c_str());
+      return 1;
+    }
+    recon::MttdlParams cp;
+    cp.disk_mttf_hours = params.disk_mttf_hours;
+    cp.mttr_hours = params.mttr_hours;
+    const auto closed = recon::estimate_mttdl(arch, cp);
+    const auto& r = mc.value();
+    std::printf("%s: MC MTTDL %.1f h (stderr %.1f, %d trials), "
+                "closed form %.1f h\n",
+                arch.name().c_str(), r.mttdl_hours, r.stderr_hours, r.trials,
+                closed.mttdl_hours);
+    std::printf("mean failures to loss %.2f, spare waits %llu, "
+                "lifecycle transitions %llu\n",
+                r.mean_failures_to_loss,
+                static_cast<unsigned long long>(r.spare_waits),
+                static_cast<unsigned long long>(r.transitions));
+    return 0;
+  }
+
+  // Orchestrated-rebuild mode: fail disks, drive the orchestrator to a
+  // terminal state, print the lifecycle the array walked through.
+  auto cfg = array_cfg_from(flags);
+  repair::RepairConfig rc;
+  const std::string policy = flags.get("policy", "none");
+  const int spares = flags.get_int("spares", 1);
+  if (policy == "dedicated") {
+    rc.spare = {repair::SparePolicy::kDedicated, spares};
+    cfg.spare_disks = spares;
+  } else if (policy == "distributed") {
+    rc.spare = {repair::SparePolicy::kDistributed, spares};
+  } else if (policy != "none") {
+    return usage("--policy must be none|dedicated|distributed");
+  }
+  const int budget = flags.get_int("interrupt-after", -1);
+  if (budget == 0) return usage("--interrupt-after must be positive");
+  if (budget > 0) {
+    rc.checkpointing = true;
+    rc.stripes_per_round = budget;
+  }
+
+  array::DiskArray arr(cfg);
+  arr.initialize();
+  auto fails = flags.get_int_list("fail");
+  if (fails.empty()) fails = {0};
+  for (const int f : fails) {
+    if (f < 0 || f >= arr.total_disks())
+      return usage("--fail disk out of range");
+    arr.fail_physical(f);
+  }
+
+  repair::RepairOrchestrator orch(arr, rc);
+  const int second = flags.get_int("second-fail", -1);
+  if (second >= 0) {
+    if (second >= arr.total_disks())
+      return usage("--second-fail disk out of range");
+    if (budget <= 0)
+      return usage("--second-fail needs --interrupt-after=<stripes>");
+    auto first = orch.run(0.0, 1);  // one bounded round, then the blow
+    if (!first.is_ok()) {
+      std::fprintf(stderr, "repair: %s\n",
+                   first.status().to_string().c_str());
+      return 1;
+    }
+    arr.fail_physical(second);
+  }
+  auto report = orch.run();
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "repair: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = report.value();
+  std::printf("%s: %d round(s), %llu elements read, %llu written, "
+              "read makespan %.3f s, total %.3f s, %d spare(s) used (%s)\n",
+              arch.name().c_str(), r.rounds,
+              static_cast<unsigned long long>(r.elements_read),
+              static_cast<unsigned long long>(r.elements_written),
+              r.read_makespan_s, r.total_makespan_s, r.spares_used,
+              to_string(r.policy));
+  for (const auto& t : r.transitions)
+    std::printf("  t=%9.3f  %-15s -> %-15s (%s)\n", t.t_s, to_string(t.from),
+                to_string(t.to), t.reason.c_str());
+  std::printf("final state: %s\n", to_string(r.final_state));
+  return r.final_state == repair::ArrayState::kHealthy ? 0 : 1;
+}
+
 int cmd_update_penalty(const Flags& flags) {
   const int n = flags.get_int("n", 5);
   const ec::EvenOddCodec evenodd(n);
@@ -602,6 +736,7 @@ int main(int argc, char** argv) {
   else if (cmd == "degraded") rc = cmd_degraded(flags);
   else if (cmd == "faults") rc = cmd_faults(flags);
   else if (cmd == "reliability") rc = cmd_reliability(flags);
+  else if (cmd == "repair") rc = cmd_repair(flags);
   else if (cmd == "update-penalty") rc = cmd_update_penalty(flags);
   else if (cmd == "replay") rc = cmd_replay(flags);
   else return usage(("unknown command: " + cmd).c_str());
