@@ -54,6 +54,16 @@ DiskArray::DiskArray(ArrayConfig cfg)
     assert(raid_codec_->rows() == cfg_.arch.rows());
     assert(raid_codec_->total_columns() == cfg_.arch.total_disks());
   }
+  if (cfg_.drl_region_stripes > 0)
+    drl_ = integrity::DirtyRegionLog(cfg_.stripes, cfg_.drl_region_stripes);
+  if (cfg_.checksums) sums_ = integrity::ChecksumStore(physical_count(), slots);
+  // Only the array-wide profile arms a crash: a power loss takes out the
+  // whole array, so a per-disk override cannot model it.
+  crash_armed_ = cfg_.fault.crash_armed();
+  if (crash_armed_) {
+    std::uint64_t s = cfg_.fault.seed ^ 0xc2b2ae3d27d4eb4fULL;
+    crash_rng_ = Rng(splitmix64(s));
+  }
 }
 
 int DiskArray::physical_disk(int logical, int stripe) const {
@@ -148,6 +158,13 @@ void DiskArray::initialize() {
       init_mirror_stripe(s);
     else
       init_raid_stripe(s);
+  }
+  if (sums_.enabled()) {
+    for (int d = 0; d < total_disks(); ++d) {
+      const auto& disk = physical(d);
+      for (std::int64_t sl = 0; sl < disk.slot_count(); ++sl)
+        sums_.update(d, sl, disk.content(sl));
+    }
   }
 }
 
@@ -371,8 +388,115 @@ void DiskArray::clear_element_latent(int logical, int stripe, int row) {
 
 void DiskArray::restore_element(int logical, int stripe, int row,
                                 std::span<const std::uint8_t> bytes) {
-  physical(physical_disk(logical, stripe))
-      .restore_content(slot(stripe, row), bytes);
+  const int phys = physical_disk(logical, stripe);
+  const std::int64_t sl = slot(stripe, row);
+  physical(phys).restore_content(sl, bytes);
+  if (sums_.enabled()) sums_.update(phys, sl, bytes);
+}
+
+void DiskArray::update_element_checksum(int logical, int stripe, int row) {
+  assert(sums_.enabled());
+  const int phys = physical_disk(logical, stripe);
+  const std::int64_t sl = slot(stripe, row);
+  sums_.update(phys, sl, physical(phys).content(sl));
+}
+
+std::uint64_t DiskArray::element_checksum_stored(int logical, int stripe,
+                                                 int row) const {
+  assert(sums_.enabled());
+  return sums_.get(physical_disk(logical, stripe), slot(stripe, row));
+}
+
+bool DiskArray::element_checksum_ok(int logical, int stripe, int row) const {
+  assert(sums_.enabled());
+  const int phys = physical_disk(logical, stripe);
+  const std::int64_t sl = slot(stripe, row);
+  return sums_.matches(phys, sl, physical(phys).content(sl));
+}
+
+Status DiskArray::verify_checksums() const {
+  if (!sums_.enabled())
+    return failed_precondition(
+        "verify_checksums() on an array without checksums enabled");
+  for (int s = 0; s < cfg_.stripes; ++s) {
+    for (int logical = 0; logical < total_disks(); ++logical) {
+      if (physical(physical_disk(logical, s)).failed()) continue;
+      for (int j = 0; j < cfg_.arch.rows(); ++j) {
+        if (!element_checksum_ok(logical, s, j))
+          return corruption("checksum mismatch at logical disk " +
+                            std::to_string(logical) + ", stripe " +
+                            std::to_string(s) + ", row " + std::to_string(j));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status DiskArray::power_cycle() {
+  if (!crashed_)
+    return failed_precondition(
+        "power_cycle() on an array that is not powered off");
+  crashed_ = false;  // the crash point stays consumed: crash_armed_ off
+  reset_timelines();
+  return Status::ok();
+}
+
+void DiskArray::apply_crash(const Op& op, double t) {
+  crashed_ = true;
+  crash_armed_ = false;
+  crash_time_ = t;
+  // Contents always live on the element's home disk (spare placements
+  // redirect only the timed I/O), so the torn/lost/misdirected outcome
+  // mutates the home slot even when the op was redirected.
+  const int home = physical_disk(op.logical_disk, op.stripe);
+  auto& hd = physical(home);
+  const std::int64_t sl = slot(op.stripe, op.row);
+  auto bytes = hd.content(sl);
+  std::vector<std::uint8_t> garble(bytes.size());
+  fill_pattern(crash_rng_.next_u64(), garble.data(), garble.size());
+  const double u = crash_rng_.next_double();
+  if (u < cfg_.fault.torn_write_p) {
+    // Torn: a prefix of the new bytes reached media, the tail is junk.
+    std::copy(garble.begin() + static_cast<std::ptrdiff_t>(garble.size() / 2),
+              garble.end(),
+              bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2));
+  } else if (u < cfg_.fault.torn_write_p + cfg_.fault.misdirected_write_p) {
+    // Misdirected: the new bytes landed on an adjacent slot, clobbering
+    // it; the intended target kept stale (unknown) data.
+    const std::int64_t nsl = sl + 1 < hd.slot_count() ? sl + 1 : sl - 1;
+    if (nsl >= 0) {
+      auto neighbor = hd.content(nsl);
+      std::copy(bytes.begin(), bytes.end(), neighbor.begin());
+      if (hd.failed()) hd.clear_restored(nsl);
+    }
+    std::copy(garble.begin(), garble.end(), bytes.begin());
+  } else {
+    // Lost: nothing reached media; the slot holds stale (unknown) data.
+    std::copy(garble.begin(), garble.end(), bytes.begin());
+  }
+  // If a rebuild had already accounted this slot as restored, the crash
+  // un-restores it: heal() must wait for a re-rebuild.
+  if (hd.failed()) hd.clear_restored(sl);
+  if (observer_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kCrash;
+    ev.t_s = t;
+    ev.disk = home;
+    ev.slot = sl;
+    ev.stripe = op.stripe;
+    ev.write = true;
+    observer_->emit(ev);
+    observer_->count("array.crashes");
+  }
+}
+
+void DiskArray::lose_write(const Op& op) {
+  const int home = physical_disk(op.logical_disk, op.stripe);
+  auto& hd = physical(home);
+  const std::int64_t sl = slot(op.stripe, op.row);
+  auto bytes = hd.content(sl);
+  fill_pattern(crash_rng_.next_u64(), bytes.data(), bytes.size());
+  if (hd.failed()) hd.clear_restored(sl);
 }
 
 std::vector<int> DiskArray::failed_physical() const {
@@ -386,6 +510,16 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
   BatchStats stats;
   stats.start_s = start_time;
   stats.end_s = start_time;
+  // One hoisted branch keeps the default (no crash, no DRL) path
+  // bit-identical to the pre-integrity executor.
+  const bool integrity_hooks = crash_armed_ || crashed_ || drl_.enabled();
+  // Write intent is logged at batch admission, before any op is issued
+  // (md writes the bitmap bit before the data): a crash anywhere inside
+  // the batch leaves every incomplete write's region dirty for resync.
+  if (integrity_hooks && !crashed_ && drl_.enabled()) {
+    for (const Op& op : ops)
+      if (op.kind == disk::IoKind::kWrite) drl_.mark(op.stripe);
+  }
   std::vector<int> per_disk(static_cast<std::size_t>(physical_count()), 0);
   for (const Op& op : ops) {
     const int phys = op.redirect_phys >= 0
@@ -394,6 +528,37 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
     auto& d = physical(phys);
     const std::int64_t sl = slot(op.stripe, op.row);
     ++per_disk[static_cast<std::size_t>(phys)];
+    if (integrity_hooks) {
+      const bool is_write = op.kind == disk::IoKind::kWrite;
+      if (crashed_) {
+        // Powered off: nothing serves; a write's bytes are lost.
+        stats.crashed = true;
+        ++stats.failed_ops;
+        if (is_write) {
+          ++stats.lost_writes;
+          lose_write(op);
+        }
+        continue;
+      }
+      if (is_write) {
+        if (crash_armed_) {
+          const double would_start = std::max(start_time, d.busy_until());
+          const bool fire =
+              (cfg_.fault.crash_after_writes >= 0 &&
+               writes_seen_ == cfg_.fault.crash_after_writes) ||
+              (cfg_.fault.crash_at_s >= 0.0 &&
+               would_start >= cfg_.fault.crash_at_s);
+          ++writes_seen_;
+          if (fire) {
+            apply_crash(op, would_start);
+            stats.crashed = true;
+            ++stats.failed_ops;
+            ++stats.lost_writes;
+            continue;
+          }
+        }
+      }
+    }
     int attempts = 0;
     double earliest = start_time;
     for (;;) {

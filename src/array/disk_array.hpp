@@ -19,9 +19,12 @@
 #include "disk/fault_profile.hpp"
 #include "disk/sim_disk.hpp"
 #include "ec/codec.hpp"
+#include "integrity/checksum.hpp"
+#include "integrity/dirty_region_log.hpp"
 #include "obs/observer.hpp"
 #include "layout/architecture.hpp"
 #include "layout/stack.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace sma::array {
@@ -62,6 +65,16 @@ struct ArrayConfig {
   /// replacement writes onto them (repair::SparePolicy::kDedicated).
   /// The default 0 is inert.
   int spare_disks = 0;
+  /// Dirty-region log granularity: stripes per region. execute() logs
+  /// write intent per region before issuing writes, so post-crash
+  /// resync re-reads only dirty regions (integrity::resync). The
+  /// default 0 disables the log entirely (inert).
+  int drl_region_stripes = 0;
+  /// Keep per-element checksums out-of-band (integrity::ChecksumStore):
+  /// initialize() and restore_element() maintain them; content writers
+  /// call update_element_checksum(). Enables silent-corruption
+  /// detection in the verifying scrub. The default false is inert.
+  bool checksums = false;
 };
 
 /// One element access for the batch executor.
@@ -96,6 +109,11 @@ struct BatchStats {
   /// Deepest retry chain any single op in the batch needed (0 = every
   /// op succeeded or failed hard on its first attempt).
   int max_retry_depth = 0;
+  /// Writes whose bytes never (fully) reached media: the crash victim
+  /// plus every write submitted while the array was powered off.
+  std::uint64_t lost_writes = 0;
+  /// The armed crash point fired during (or before) this batch.
+  bool crashed = false;
 
   double elapsed_s() const { return end_s - start_s; }
 };
@@ -168,9 +186,47 @@ class DiskArray {
   /// Remap the element's latent sector after rewriting it in place.
   void clear_element_latent(int logical, int stripe, int row);
   /// Install recovered bytes for an element of a failed disk (tracked;
-  /// SimDisk::heal() requires every slot restored).
+  /// SimDisk::heal() requires every slot restored). Maintains the
+  /// element's checksum when checksums are enabled.
   void restore_element(int logical, int stripe, int row,
                        std::span<const std::uint8_t> bytes);
+
+  // --- crash consistency ---------------------------------------------------
+  /// The armed crash point (ArrayConfig::fault.crash_at_s /
+  /// crash_after_writes) fired: the array is powered off. Every
+  /// subsequent op fails with kIoError and every subsequent write's
+  /// bytes are lost until power_cycle().
+  bool crashed() const { return crashed_; }
+  /// Simulated time at which the crash fired (meaningful when
+  /// crashed() or after power_cycle()).
+  double crash_time_s() const { return crash_time_; }
+  /// Power the array back on after a crash: timelines reset (cold
+  /// start), the crash point stays consumed, contents stay exactly as
+  /// the crash left them — divergent copies and all. The caller is
+  /// expected to resync before trusting redundancy again.
+  /// kFailedPrecondition when the array is not crashed.
+  Status power_cycle();
+
+  /// Dirty-region log (enabled via ArrayConfig::drl_region_stripes;
+  /// disabled object otherwise). execute() marks write intent; resync
+  /// clears regions; workloads may clear_all() at quiesce points.
+  integrity::DirtyRegionLog& dirty_log() { return drl_; }
+  const integrity::DirtyRegionLog& dirty_log() const { return drl_; }
+
+  // --- checksums -----------------------------------------------------------
+  bool checksums_enabled() const { return sums_.enabled(); }
+  const integrity::ChecksumStore& checksums() const { return sums_; }
+  /// Record the checksum of the element's *current* content (content
+  /// writers call this right after mutating the bytes).
+  void update_element_checksum(int logical, int stripe, int row);
+  /// Stored checksum of the element's media location.
+  std::uint64_t element_checksum_stored(int logical, int stripe, int row) const;
+  /// True when the stored checksum matches the current content.
+  bool element_checksum_ok(int logical, int stripe, int row) const;
+  /// Recompute every live element's fingerprint against the store.
+  /// kCorruption with a precise location on the first mismatch;
+  /// kFailedPrecondition when checksums are disabled.
+  Status verify_checksums() const;
 
   // --- timing ---------------------------------------------------------------
   /// Execute ops concurrently across disks: per-disk FIFO order as
@@ -202,10 +258,25 @@ class DiskArray {
   /// Codec used to materialize / verify parity for RAID-5/6 kinds.
   ec::CodecPtr raid_codec_;
 
+  // Crash-consistency state. All of it stays inert (crash_armed_ false,
+  // drl_/sums_ disabled) under the default config: execute() takes one
+  // hoisted branch and nothing else changes.
+  integrity::DirtyRegionLog drl_;
+  integrity::ChecksumStore sums_;
+  bool crash_armed_ = false;
+  bool crashed_ = false;
+  double crash_time_ = 0.0;
+  std::int64_t writes_seen_ = 0;
+  Rng crash_rng_{0};
+
   void init_mirror_stripe(int stripe);
   void init_raid_stripe(int stripe);
   Status verify_mirror_stripe(int stripe) const;
   Status verify_raid_stripe(int stripe) const;
+  /// Fire the armed crash on the victim write op at simulated time `t`.
+  void apply_crash(const Op& op, double t);
+  /// Garble a write that never (fully) reached media while powered off.
+  void lose_write(const Op& op);
 };
 
 }  // namespace sma::array

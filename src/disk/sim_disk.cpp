@@ -98,7 +98,7 @@ IoResult SimDisk::submit(IoKind kind, std::int64_t slot,
                                std::to_string(slot) + " on disk " +
                                std::to_string(id_));
     }
-    if (fault_.transient_read_error_p > 0.0 &&
+    if (fault_.transient_read_error_p > 0.0 && fault_.transient_active(start) &&
         fault_rng_.next_bool(fault_.transient_read_error_p)) {
       ++counters_.transient_errors;
       return io_error("transient read error on disk " + std::to_string(id_));
@@ -106,6 +106,7 @@ IoResult SimDisk::submit(IoKind kind, std::int64_t slot,
     counters_.logical_bytes_read += logical_element_bytes_;
   } else {
     if (fault_.transient_write_error_p > 0.0 &&
+        fault_.transient_active(start) &&
         fault_rng_.next_bool(fault_.transient_write_error_p)) {
       ++counters_.transient_errors;
       return io_error("transient write error on disk " + std::to_string(id_));
@@ -172,6 +173,14 @@ void SimDisk::fail() {
   std::memset(store_.data(), 0xDB, store_.size());
   restored_.assign(static_cast<std::size_t>(slot_count_), false);
   restored_count_ = 0;
+}
+
+void SimDisk::clear_restored(std::int64_t slot) {
+  assert(slot >= 0 && slot < slot_count_);
+  if (restored_count_ > 0 && restored_[static_cast<std::size_t>(slot)]) {
+    restored_[static_cast<std::size_t>(slot)] = false;
+    --restored_count_;
+  }
 }
 
 void SimDisk::restore_content(std::int64_t slot,

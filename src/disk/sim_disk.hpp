@@ -148,6 +148,10 @@ class SimDisk {
   bool slot_restored(std::int64_t slot) const {
     return restored_count_ > 0 && restored_[static_cast<std::size_t>(slot)];
   }
+  /// Un-restore one slot of a failed disk: a crash garbled a rebuild
+  /// write that restore_content() had already accounted, so the slot
+  /// must be rebuilt again before heal() can succeed.
+  void clear_restored(std::int64_t slot);
   /// Returns the (fully restored) disk to service, modeling a
   /// replacement: the latent-slot set is discarded and the scheduled
   /// fail-stop is disarmed. kFailedPrecondition when the disk never

@@ -1,0 +1,107 @@
+// DirtyRegionLog — an md-bitmap-style write-intent log over stripe
+// regions.
+//
+// Before a mirror write is issued, its region's bit is set; after a
+// crash, only regions whose bit is still set can hold a write hole
+// (copies diverged by an interrupted write), so resync re-reads just
+// those regions instead of the whole array. A region covers
+// `region_stripes` consecutive stripes: coarser regions mean fewer
+// bitmap updates in the write path but more data re-read after a crash
+// — exactly the trade-off bench_crash_resync sweeps.
+//
+// Header-only so array::DiskArray can maintain the log without a link
+// dependency on sma_integrity (the library DAG stays acyclic, the same
+// arrangement repair/checkpoint.hpp uses toward recon).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace sma::integrity {
+
+class DirtyRegionLog {
+ public:
+  /// Disabled log: enabled() is false, every query reports clean.
+  DirtyRegionLog() = default;
+
+  /// Log over `stripes` stripes, `region_stripes` stripes per region
+  /// (the last region may be shorter). region_stripes <= 0 disables.
+  DirtyRegionLog(int stripes, int region_stripes)
+      : stripes_(stripes), region_stripes_(region_stripes) {
+    if (region_stripes_ > 0 && stripes_ > 0)
+      dirty_.assign(static_cast<std::size_t>(regions()), false);
+  }
+
+  bool enabled() const { return region_stripes_ > 0 && stripes_ > 0; }
+  int stripes() const { return stripes_; }
+  int region_stripes() const { return region_stripes_; }
+  int regions() const {
+    return enabled() ? (stripes_ + region_stripes_ - 1) / region_stripes_ : 0;
+  }
+
+  int region_of(int stripe) const {
+    assert(enabled() && stripe >= 0 && stripe < stripes_);
+    return stripe / region_stripes_;
+  }
+  /// Stripe range [begin, end) covered by `region`.
+  int region_begin(int region) const { return region * region_stripes_; }
+  int region_end(int region) const {
+    const int end = (region + 1) * region_stripes_;
+    return end < stripes_ ? end : stripes_;
+  }
+
+  /// Log write intent for a stripe (idempotent). Counts every call so
+  /// experiments can report bitmap write traffic.
+  void mark(int stripe) {
+    if (!enabled()) return;
+    ++marks_;
+    dirty_[static_cast<std::size_t>(region_of(stripe))] = true;
+  }
+
+  bool dirty(int region) const {
+    return enabled() && dirty_[static_cast<std::size_t>(region)];
+  }
+  bool stripe_dirty(int stripe) const {
+    return enabled() && dirty(region_of(stripe));
+  }
+
+  /// Resync finished a region: clear its intent bit.
+  void clear(int region) {
+    if (enabled()) dirty_[static_cast<std::size_t>(region)] = false;
+  }
+  /// Quiesce point: all in-flight writes have drained, nothing can hold
+  /// a write hole.
+  void clear_all() {
+    if (enabled()) dirty_.assign(dirty_.size(), false);
+  }
+  /// Pre-resync without a trusted log (or a full-resync policy): every
+  /// region is suspect.
+  void mark_all() {
+    if (enabled()) dirty_.assign(dirty_.size(), true);
+  }
+
+  int dirty_count() const {
+    int n = 0;
+    for (const bool b : dirty_)
+      if (b) ++n;
+    return n;
+  }
+  std::vector<int> dirty_regions() const {
+    std::vector<int> out;
+    for (int r = 0; r < regions(); ++r)
+      if (dirty(r)) out.push_back(r);
+    return out;
+  }
+
+  /// Total mark() calls — a proxy for bitmap write traffic.
+  std::uint64_t marks() const { return marks_; }
+
+ private:
+  int stripes_ = 0;
+  int region_stripes_ = 0;
+  std::vector<bool> dirty_;
+  std::uint64_t marks_ = 0;
+};
+
+}  // namespace sma::integrity

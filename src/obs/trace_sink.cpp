@@ -28,6 +28,9 @@ constexpr struct {
     {EventKind::kRetry, "retry"},
     {EventKind::kThrottle, "throttle"},
     {EventKind::kStateChange, "state_change"},
+    {EventKind::kCrash, "crash"},
+    {EventKind::kResync, "resync"},
+    {EventKind::kCorruption, "corruption"},
 };
 
 /// Shortest-exact double literal: %.17g round-trips every finite IEEE

@@ -44,6 +44,12 @@ enum class EventKind : std::uint8_t {
                      // budget, dur_s = the window's foreground p99)
   kStateChange,      // array lifecycle transition (state_from/state_to
                      // carry repair::ArrayState values as integers)
+  kCrash,            // whole-array power loss; disk/slot/stripe locate
+                     // the in-flight victim write
+  kResync,           // post-crash resync processed one dirty region
+                     // (slot = region index)
+  kCorruption,       // integrity check found divergent/corrupt content
+                     // (scrub checksum mismatch, resync divergence)
 };
 
 /// Stable lowercase name ("request_arrive", "service_start", ...).

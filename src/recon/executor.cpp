@@ -384,6 +384,21 @@ Result<ReconReport> reconstruct_orchestrated(array::DiskArray& arr,
   for (int p = arr.total_disks(); p < arr.physical_count(); ++p)
     if (arr.physical(p).failed()) dead_now.push_back(p);
 
+  // A covered stripe is only truly covered while its rebuilt copies
+  // still exist. Copies on spare targets are checked by stripe_dirty();
+  // copies rebuilt *in place* live on the failed disk's restored slots,
+  // which a re-failure of that disk (or crash garbling) wipes — such
+  // stripes must be re-rebuilt, not skipped.
+  auto covered_intact = [&](int s) {
+    for (const int p : prior) {
+      if (ck->placement.target_for(p, s) >= 0) continue;
+      const auto& d = arr.physical(p);
+      for (int j = 0; j < rows; ++j)
+        if (!d.slot_restored(arr.slot(s, j))) return false;
+    }
+    return true;
+  };
+
   FaultCounts fc;
   int processed = 0;
   int next_stripe = arr.stripes();
@@ -391,7 +406,8 @@ Result<ReconReport> reconstruct_orchestrated(array::DiskArray& arr,
   for (int s = 0; s < arr.stripes(); ++s) {
     // Classify: skip / partial (new disks only) / full (fresh or dirty).
     std::vector<int> rebuild_phys;
-    if (s < watermark && !ck->stripe_dirty(s, dead_now)) {
+    if (s < watermark && !ck->stripe_dirty(s, dead_now) &&
+        covered_intact(s)) {
       for (const int p : failed_physical)
         if (!in_sorted(prior, p)) rebuild_phys.push_back(p);
       if (rebuild_phys.empty()) {
@@ -491,6 +507,17 @@ Result<ReconReport> reconstruct_orchestrated(array::DiskArray& arr,
     report.logical_bytes_recovered += wstats.logical_bytes_written;
     absorb(wstats);
 
+    if (arr.crashed()) {
+      // Power loss mid-stripe: this stripe's replacement writes may be
+      // torn, so the conservative watermark excludes it — the resumed
+      // round rebuilds stripe s from scratch. Its writes are not
+      // counted as restored for the same reason.
+      report.elements_read += reads.size();
+      interrupted = true;
+      next_stripe = s;
+      break;
+    }
+
     report.elements_read += reads.size();
     report.elements_written += writes.size();
     ++processed;
@@ -513,12 +540,16 @@ Result<ReconReport> reconstruct_orchestrated(array::DiskArray& arr,
     // Record the watermark; disks stay failed, verification is deferred
     // to the completing round. Multi-round placement history collapses
     // to the latest round's placement (see RebuildCheckpoint docs).
+    // A crash interruption without a checkpoint simply returns
+    // incomplete — the next round restarts from scratch.
     report.completed = false;
-    ck->failed = failed_physical;
-    ck->stripes_done = next_stripe;
-    ck->elements_restored += report.elements_written;
-    ck->unrecoverable = skip;
-    ck->placement = placement.active() ? placement : ck->placement;
+    if (ck != nullptr) {
+      ck->failed = failed_physical;
+      ck->stripes_done = next_stripe;
+      ck->elements_restored += report.elements_written;
+      ck->unrecoverable = skip;
+      ck->placement = placement.active() ? placement : ck->placement;
+    }
     return report;
   }
 
@@ -545,6 +576,10 @@ Result<ReconReport> reconstruct_orchestrated(array::DiskArray& arr,
 
 Result<ReconReport> reconstruct(array::DiskArray& arr,
                                 const ReconOptions& opts) {
+  if (arr.crashed())
+    return failed_precondition(
+        "reconstruct on a crashed (powered-off) array: power_cycle() and "
+        "resync before rebuilding");
   // Orchestration features route to the dedicated path; the default
   // path below is untouched and stays bit-identical.
   if (opts.checkpoint != nullptr || opts.max_stripes >= 0 ||
@@ -687,6 +722,14 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
       report.total_makespan_s = std::max(report.total_makespan_s, wstats.end_s);
       report.logical_bytes_recovered += wstats.logical_bytes_written;
       absorb(wstats);
+      if (arr.crashed()) {
+        // Power loss during replacement-write timing: contents were
+        // installed in phase 2, but this stripe's writes may be torn
+        // and the remaining stripes' timed writes never issued. The
+        // run is incomplete; consistency cannot be asserted.
+        report.completed = false;
+        break;
+      }
     }
     report.total_makespan_s =
         std::max(report.total_makespan_s, report.read_makespan_s);
@@ -717,6 +760,7 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
     report.total_makespan_s = write_stats.end_s;
     report.logical_bytes_recovered = write_stats.logical_bytes_written;
     absorb(write_stats);
+    if (arr.crashed()) report.completed = false;
     if (ob != nullptr) {
       obs::TraceEvent ev;
       ev.kind = obs::EventKind::kRebuildComplete;
@@ -738,7 +782,7 @@ Result<ReconReport> reconstruct(array::DiskArray& arr,
     }
   }
 
-  if (opts.verify) {
+  if (opts.verify && report.completed) {
     Status ok = arr.verify_consistency(skip.empty() ? nullptr : &skip);
     if (!ok.is_ok()) return ok;
   }

@@ -28,17 +28,26 @@ bool equal_spans(std::span<const std::uint8_t> a,
 }  // namespace
 
 Result<ScrubReport> scrub(array::DiskArray& arr) {
+  return scrub(arr, ScrubOptions{});
+}
+
+Result<ScrubReport> scrub(array::DiskArray& arr, const ScrubOptions& opts) {
   const auto& arch = arr.arch();
   if (!arch.is_mirror())
     return invalid_argument("scrub supports the mirror architectures");
   if (!arr.failed_physical().empty())
     return failed_precondition("scrub requires all disks healthy");
+  if (arr.crashed())
+    return failed_precondition(
+        "scrub on a powered-off array; power_cycle() first");
 
   ScrubReport report;
   const std::size_t eb = arr.config().content_bytes;
   std::vector<std::uint8_t> expect(eb);
 
   // Timing: every element of every disk read once, streaming per disk.
+  // The verifying pass adds no timed I/O: checksums are out-of-band
+  // metadata recomputed from the same streamed reads.
   std::vector<array::Op> ops;
   for (int logical = 0; logical < arch.total_disks(); ++logical)
     for (int s = 0; s < arr.stripes(); ++s)
@@ -48,6 +57,101 @@ Result<ScrubReport> scrub(array::DiskArray& arr) {
   const auto stats = arr.execute(ops, 0.0);
   report.makespan_s = stats.elapsed_s();
   report.logical_bytes_read = stats.logical_bytes_read;
+
+  // Pass 0 (verifying scrub): recompute every element's fingerprint
+  // against the out-of-band store. A checksum mismatch attributes the
+  // corruption to a specific copy — which replica comparison alone
+  // cannot — so repair copies from the partner whose checksum matches
+  // its content, falling back to the parity row when both copies of a
+  // pair are bad. Runs before pass 1: repaired pairs agree again and
+  // are not re-flagged as mismatches.
+  obs::Observer* const ob = opts.observer.get();
+  if (opts.verify_checksums && arr.checksums_enabled()) {
+    auto flag = [&](int logical, int s, int row) {
+      ++report.checksum_mismatches;
+      if (ob != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kCorruption;
+        ev.t_s = report.makespan_s;
+        ev.disk = arr.physical_disk(logical, s);
+        ev.stripe = s;
+        ev.slot = arr.slot(s, row);
+        ob->emit(ev);
+      }
+    };
+    for (int s = 0; s < arr.stripes(); ++s) {
+      for (int i = 0; i < arch.n(); ++i) {
+        for (int j = 0; j < arch.rows(); ++j) {
+          const int dd = arch.data_disk(i);
+          const layout::Pos rp = arch.replica_of(i, j);
+          const bool d_ok = arr.element_checksum_ok(dd, s, j);
+          const bool m_ok = arr.element_checksum_ok(rp.disk, s, rp.row);
+          if (d_ok && m_ok) continue;
+          if (!d_ok) flag(dd, s, j);
+          if (!m_ok) flag(rp.disk, s, rp.row);
+          auto data = arr.content(dd, s, j);
+          auto mirror = arr.content(rp.disk, s, rp.row);
+          if (d_ok != m_ok) {
+            // Exactly one checksum-verified copy: it is authoritative.
+            if (d_ok) {
+              std::copy(data.begin(), data.end(), mirror.begin());
+              arr.update_element_checksum(rp.disk, s, rp.row);
+            } else {
+              std::copy(mirror.begin(), mirror.end(), data.begin());
+              arr.update_element_checksum(dd, s, j);
+            }
+            ++report.repaired_by_checksum;
+            continue;
+          }
+          // Both copies bad: rebuild the value through the parity row,
+          // usable only when every input element is itself
+          // checksum-verified.
+          bool parity_path = arch.has_parity() &&
+                             arr.element_checksum_ok(arch.parity_disk(), s, j);
+          for (int k = 0; parity_path && k < arch.n(); ++k)
+            if (k != i && !arr.element_checksum_ok(arch.data_disk(k), s, j))
+              parity_path = false;
+          if (parity_path) {
+            row_xor_except(arr, s, j, i, expect);
+            gf::region_xor(arr.content(arch.parity_disk(), s, j), expect);
+            std::copy(expect.begin(), expect.end(), data.begin());
+            std::copy(expect.begin(), expect.end(), mirror.begin());
+            arr.update_element_checksum(dd, s, j);
+            arr.update_element_checksum(rp.disk, s, rp.row);
+            report.repaired_by_checksum += 2;
+          } else {
+            ++report.undecidable;
+          }
+        }
+      }
+      if (arch.has_parity()) {
+        const int pd = arch.parity_disk();
+        for (int j = 0; j < arch.rows(); ++j) {
+          if (arr.element_checksum_ok(pd, s, j)) continue;
+          flag(pd, s, j);
+          bool row_ok = true;
+          for (int k = 0; k < arch.n(); ++k)
+            if (!arr.element_checksum_ok(arch.data_disk(k), s, j))
+              row_ok = false;
+          if (row_ok) {
+            row_xor_except(arr, s, j, /*skip_disk=*/-1, expect);
+            auto parity = arr.content(pd, s, j);
+            std::copy(expect.begin(), expect.end(), parity.begin());
+            arr.update_element_checksum(pd, s, j);
+            ++report.repaired_by_checksum;
+          } else {
+            ++report.undecidable;
+          }
+        }
+      }
+    }
+  }
+
+  // Every pass-1/2 rewrite keeps the checksum store in step with the
+  // new content (no-op on arrays without checksums).
+  auto commit_sum = [&](int logical, int s, int row) {
+    if (arr.checksums_enabled()) arr.update_element_checksum(logical, s, row);
+  };
 
   for (int s = 0; s < arr.stripes(); ++s) {
     // Whether the parity arbitration of data element i in row j can be
@@ -85,9 +189,11 @@ Result<ScrubReport> scrub(array::DiskArray& arr) {
             if (data_unreadable) {
               std::copy(mirror.begin(), mirror.end(), data.begin());
               arr.clear_element_latent(arch.data_disk(i), s, j);
+              commit_sum(arch.data_disk(i), s, j);
             } else {
               std::copy(data.begin(), data.end(), mirror.begin());
               arr.clear_element_latent(rp.disk, s, rp.row);
+              commit_sum(rp.disk, s, rp.row);
             }
             ++report.remapped;
           } else if (arch.has_parity() && parity_path_readable(i, j)) {
@@ -99,6 +205,8 @@ Result<ScrubReport> scrub(array::DiskArray& arr) {
             std::copy(expect.begin(), expect.end(), mirror.begin());
             arr.clear_element_latent(arch.data_disk(i), s, j);
             arr.clear_element_latent(rp.disk, s, rp.row);
+            commit_sum(arch.data_disk(i), s, j);
+            commit_sum(rp.disk, s, rp.row);
             report.remapped += 2;
           } else {
             ++report.undecidable;
@@ -119,9 +227,11 @@ Result<ScrubReport> scrub(array::DiskArray& arr) {
         gf::region_xor(arr.content(arch.parity_disk(), s, j), expect);
         if (equal_spans(expect, data)) {
           std::copy(data.begin(), data.end(), mirror.begin());
+          commit_sum(rp.disk, s, rp.row);
           ++report.repaired_mirror;
         } else if (equal_spans(expect, mirror)) {
           std::copy(mirror.begin(), mirror.end(), data.begin());
+          commit_sum(arch.data_disk(i), s, j);
           ++report.repaired_data;
         } else {
           // Neither copy matches the parity reconstruction: more than
@@ -154,12 +264,14 @@ Result<ScrubReport> scrub(array::DiskArray& arr) {
           row_xor_except(arr, s, j, /*skip_disk=*/-1, expect);
           std::copy(expect.begin(), expect.end(), parity.begin());
           arr.clear_element_latent(arch.parity_disk(), s, j);
+          commit_sum(arch.parity_disk(), s, j);
           ++report.remapped;
           continue;
         }
         row_xor_except(arr, s, j, /*skip_disk=*/-1, expect);
         if (!equal_spans(expect, parity)) {
           std::copy(expect.begin(), expect.end(), parity.begin());
+          commit_sum(arch.parity_disk(), s, j);
           ++report.repaired_parity;
         }
       }

@@ -11,11 +11,20 @@
 // is bad (XOR of the other data elements and the parity element equals
 // the true value under a single-bad-copy-per-row assumption). Without a
 // parity disk a two-way mismatch is detectable but not attributable.
+//
+// On arrays that keep per-element checksums (ArrayConfig::checksums)
+// the scrub is *verifying*: a pass 0 recomputes every element's
+// fingerprint against the out-of-band store, which catches the silent
+// corruptions replica comparison cannot attribute — bit rot, lost
+// writes (stale content under a fresh checksum) and misdirected writes
+// — and repairs each from a partner whose checksum matches its
+// content. See docs/INTEGRITY.md.
 #pragma once
 
 #include <cstdint>
 
 #include "array/disk_array.hpp"
+#include "obs/observer.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
@@ -35,11 +44,31 @@ struct ScrubReport {
   /// Unreadable elements rewritten in place from a surviving redundancy
   /// path (remapping the latent sector); the rest become undecidable.
   std::uint64_t remapped = 0;
+  /// Pass-0 verifying scrub: elements whose stored checksum disagreed
+  /// with their content (0 when the array keeps no checksums).
+  std::uint64_t checksum_mismatches = 0;
+  /// Checksum-flagged elements rewritten from a checksum-verified
+  /// source (replica partner, or the parity row when both copies are
+  /// bad).
+  std::uint64_t repaired_by_checksum = 0;
   /// Full-scan timing on the disk model (all disks stream in parallel).
   double makespan_s = 0.0;
   std::uint64_t logical_bytes_read = 0;
 
-  bool clean() const { return mismatches == 0 && repaired_parity == 0; }
+  bool clean() const {
+    return mismatches == 0 && repaired_parity == 0 &&
+           checksum_mismatches == 0;
+  }
+};
+
+struct ScrubOptions {
+  /// Run the checksum verification pass (pass 0) when the array keeps
+  /// per-element checksums. No-op — and the scrub is bit-identical to
+  /// the plain one — when ArrayConfig::checksums is off.
+  bool verify_checksums = true;
+  /// Borrowed observer: emits a kCorruption trace event per checksum
+  /// mismatch.
+  obs::Attach observer;
 };
 
 /// Scrub a mirror-architecture array: detect and (where arbitration is
@@ -50,6 +79,10 @@ struct ScrubReport {
 /// unreadable; arbitration paths that would read through an unreadable
 /// element are treated as unavailable. Requires all disks healthy —
 /// scrub a degraded array after rebuilding it.
+Result<ScrubReport> scrub(array::DiskArray& arr, const ScrubOptions& opts);
+
+/// scrub(arr, {}) — plain scrub, verifying when the array keeps
+/// checksums.
 Result<ScrubReport> scrub(array::DiskArray& arr);
 
 /// Corrupt `count` distinct random elements (any role) by flipping

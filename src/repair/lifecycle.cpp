@@ -22,7 +22,8 @@ Lifecycle::Lifecycle(layout::Architecture arch, obs::Attach observer)
 
 Status Lifecycle::reclassify(double t_s, const std::string& reason) {
   const ArrayState next =
-      classify(arch_, failed_, !repairing_.empty(), spare_starved_);
+      classify(arch_, failed_, !repairing_.empty(), spare_starved_,
+               inconsistent_, resyncing_);
   if (next == state_) return Status::ok();
   history_.push_back({t_s, state_, next, reason});
   if (obs::Observer* ob = observer_.get(); ob != nullptr) {
@@ -89,6 +90,36 @@ Status Lifecycle::on_spare_available(double t_s) {
     return failed_precondition("lifecycle event after data loss");
   spare_starved_ = false;
   return reclassify(t_s, "spare pool replenished");
+}
+
+Status Lifecycle::on_crash(double t_s) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  inconsistent_ = true;
+  // A crash mid-resync kills that resync; the array is back to plain
+  // inconsistent and a new resync must start from the (surviving) log.
+  resyncing_ = false;
+  return reclassify(t_s, "power-loss crash");
+}
+
+Status Lifecycle::on_resync_start(double t_s) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  if (!inconsistent_)
+    return failed_precondition("resync start on an array that is consistent");
+  if (resyncing_) return failed_precondition("resync started twice");
+  resyncing_ = true;
+  return reclassify(t_s, "resync start");
+}
+
+Status Lifecycle::on_resync_complete(double t_s) {
+  if (terminal())
+    return failed_precondition("lifecycle event after data loss");
+  if (!resyncing_)
+    return failed_precondition("resync completion that was never started");
+  resyncing_ = false;
+  inconsistent_ = false;
+  return reclassify(t_s, "resync complete");
 }
 
 }  // namespace sma::repair

@@ -7,9 +7,11 @@
 //           +--> spare-exhausted --+
 //           |                      v
 //   healthy --> degraded --> rebuilding --> healthy
-//                   |            |
-//                   v            v
-//                critical --> data-loss   (terminal)
+//       |           |            |
+//       v           v            v
+//       |        critical --> data-loss   (terminal)
+//       +--> inconsistent --> resyncing --> healthy
+//              (crash)         (resync)
 //
 // The state is *derived*, never set directly: classify() computes it
 // from the failed-disk set (exact recoverability via the
@@ -44,6 +46,12 @@ enum class ArrayState : std::uint8_t {
   kCritical = 3,
   kSpareExhausted = 4,
   kDataLoss = 5,
+  // Crash-consistency states (appended so the integer values carried by
+  // existing kStateChange traces stay stable). "inconsistent" = a power
+  // loss interrupted writes, so mirror copies may silently diverge
+  // until a resync runs; "resyncing" = that resync is in flight.
+  kInconsistent = 6,
+  kResyncing = 7,
 };
 
 /// Stable lowercase name ("healthy", "data_loss", ...). Inline so the
@@ -56,6 +64,8 @@ inline const char* to_string(ArrayState state) {
     case ArrayState::kCritical: return "critical";
     case ArrayState::kSpareExhausted: return "spare_exhausted";
     case ArrayState::kDataLoss: return "data_loss";
+    case ArrayState::kInconsistent: return "inconsistent";
+    case ArrayState::kResyncing: return "resyncing";
   }
   return "unknown";
 }
@@ -63,12 +73,21 @@ inline const char* to_string(ArrayState state) {
 /// Derive the lifecycle state from first principles. `failed` is the
 /// physical failed-disk set (architecture numbering), `rebuilding` is
 /// whether any repair is in flight, `spare_starved` whether a needed
-/// repair is waiting on an empty spare pool. Severity wins: data loss
-/// over critical over the repair-progress states.
+/// repair is waiting on an empty spare pool, `inconsistent` whether a
+/// crash left (potentially) divergent copies that have not been
+/// resynced, `resyncing` whether that resync is running. Severity wins:
+/// data loss over critical over the crash-consistency states over the
+/// repair-progress states. The trailing parameters default to false so
+/// pre-crash-model call sites keep compiling unchanged.
 inline ArrayState classify(const layout::Architecture& arch,
                            const std::vector<int>& failed, bool rebuilding,
-                           bool spare_starved) {
-  if (failed.empty()) return ArrayState::kHealthy;
+                           bool spare_starved, bool inconsistent = false,
+                           bool resyncing = false) {
+  if (failed.empty()) {
+    if (resyncing) return ArrayState::kResyncing;
+    if (inconsistent) return ArrayState::kInconsistent;
+    return ArrayState::kHealthy;
+  }
   if (!recon::is_recoverable(arch, failed)) return ArrayState::kDataLoss;
   auto is_failed = [&](int d) {
     for (const int f : failed)
@@ -81,6 +100,8 @@ inline ArrayState classify(const layout::Architecture& arch,
     next.push_back(d);
     if (!recon::is_recoverable(arch, next)) return ArrayState::kCritical;
   }
+  if (resyncing) return ArrayState::kResyncing;
+  if (inconsistent) return ArrayState::kInconsistent;
   if (spare_starved) return ArrayState::kSpareExhausted;
   return rebuilding ? ArrayState::kRebuilding : ArrayState::kDegraded;
 }
@@ -114,6 +135,15 @@ class Lifecycle {
   /// A needed repair found the spare pool empty / replenished again.
   Status on_spare_exhausted(double t_s);
   Status on_spare_available(double t_s);
+  /// A power loss interrupted in-flight writes: copies may silently
+  /// diverge until a resync runs. Valid in any non-terminal state; a
+  /// crash *during* a resync cancels that resync (the array is back to
+  /// plain inconsistent).
+  Status on_crash(double t_s);
+  /// Resync began; requires a crash-inconsistent array.
+  Status on_resync_start(double t_s);
+  /// Resync finished: copies agree again; requires a resync in flight.
+  Status on_resync_complete(double t_s);
 
  private:
   Status reclassify(double t_s, const std::string& reason);
@@ -124,6 +154,8 @@ class Lifecycle {
   std::vector<int> failed_;
   std::vector<int> repairing_;
   bool spare_starved_ = false;
+  bool inconsistent_ = false;
+  bool resyncing_ = false;
   std::vector<Transition> history_;
 };
 

@@ -29,6 +29,25 @@ Status RepairOrchestrator::admit_failures(double t_s) {
   return Status::ok();
 }
 
+Status RepairOrchestrator::admit_crash(double t_s) {
+  if (!arr_.crashed()) return Status::ok();
+  SMA_RETURN_IF_ERROR(lifecycle_.on_crash(t_s));
+  return arr_.power_cycle();
+}
+
+Result<integrity::ResyncReport> RepairOrchestrator::resync(double t_s,
+                                                           bool full) {
+  SMA_RETURN_IF_ERROR(lifecycle_.on_resync_start(t_s));
+  integrity::ResyncOptions opts;
+  opts.full = full;
+  opts.observer = cfg_.observer;
+  auto rep = integrity::resync(arr_, opts);
+  if (!rep.is_ok()) return rep.status();
+  SMA_RETURN_IF_ERROR(
+      lifecycle_.on_resync_complete(t_s + rep.value().makespan_s));
+  return rep;
+}
+
 Status RepairOrchestrator::prepare_placement(double t_s,
                                              const std::vector<int>& failed) {
   if (cfg_.spare.inert()) return Status::ok();
@@ -83,6 +102,9 @@ Result<RepairReport> RepairOrchestrator::run(double t_s, int max_rounds) {
   double clock = t_s;
   int rounds = 0;
   while (!lifecycle_.terminal()) {
+    // A powered-off array rebuilds nothing: the caller must
+    // admit_crash() (power-cycle) and resync() first.
+    if (arr_.crashed()) break;
     const auto failed = arr_.failed_physical();
     if (failed.empty()) break;
     if (max_rounds >= 0 && rounds >= max_rounds) break;
@@ -116,6 +138,7 @@ Result<RepairReport> RepairOrchestrator::run(double t_s, int max_rounds) {
       placement_ = SparePlacement{};
       allocated_.clear();
     }
+    if (!rep.completed && arr_.crashed()) break;
   }
 
   report_.final_state = lifecycle_.state();

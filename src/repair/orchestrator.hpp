@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "array/disk_array.hpp"
+#include "integrity/resync.hpp"
 #include "recon/executor.hpp"
 #include "repair/checkpoint.hpp"
 #include "repair/lifecycle.hpp"
@@ -76,6 +77,18 @@ class RepairOrchestrator {
   /// failed on the array but unknown to the lifecycle becomes an
   /// on_failure event at `t_s`. Call after every fail_physical() burst.
   Status admit_failures(double t_s);
+
+  /// Fold a power-loss crash into the lifecycle (kInconsistent) and
+  /// power the array back on. No-op when the array never crashed —
+  /// symmetric with admit_failures. Call before resync()/run() after
+  /// any workload that may have tripped the crash point.
+  Status admit_crash(double t_s);
+
+  /// Drive a post-crash resync through the lifecycle: on_resync_start,
+  /// integrity::resync over the dirty regions (full when `full`), then
+  /// on_resync_complete at the resync's end time. Requires an admitted
+  /// crash (state kInconsistent / a crash-inconsistent degraded array).
+  Result<integrity::ResyncReport> resync(double t_s, bool full = false);
 
   /// Run rebuild rounds until the array is healthy, data is lost, or
   /// `max_rounds` rounds have executed (-1 = until done). Each round

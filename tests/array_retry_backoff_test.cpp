@@ -1,0 +1,118 @@
+// Retry backoff x transient-error windows: the batch executor's bounded
+// retries interact with FaultProfile's bounded interference episode.
+// Whether a retry succeeds depends on *when* it re-submits — immediate
+// retries can re-enter the episode and exhaust the budget, while a
+// backoff long enough to outlast the episode turns the same fault into
+// one retried op.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "array/disk_array.hpp"
+
+namespace sma::array {
+namespace {
+
+ArrayConfig base_cfg() {
+  ArrayConfig cfg;
+  cfg.arch = layout::Architecture::mirror(3, true);
+  cfg.stripes = cfg.arch.total_disks();
+  cfg.content_bytes = 64;
+  cfg.logical_element_bytes = 4'000'000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// Service time of one cold read of element (0, 0, 0) on this model.
+double cold_read_service_s() {
+  DiskArray arr(base_cfg());
+  arr.initialize();
+  const Op read{0, 0, 0, disk::IoKind::kRead};
+  return arr.execute({&read, 1}, 0.0).end_s;
+}
+
+TEST(RetryBackoff, TransientWindowInTheFutureIsInert) {
+  auto cfg = base_cfg();
+  cfg.fault.transient_read_error_p = 1.0;  // certain error...
+  cfg.fault.transient_from_s = 1e9;        // ...but the episode is later
+  cfg.fault.seed = 3;
+  DiskArray arr(cfg);
+  arr.initialize();
+  const Op read{0, 0, 0, disk::IoKind::kRead};
+  const auto stats = arr.execute({&read, 1}, 0.0);
+  EXPECT_EQ(stats.retried_ops, 0u);
+  EXPECT_EQ(stats.failed_ops, 0u);
+  EXPECT_EQ(stats.max_retry_depth, 0);
+  EXPECT_DOUBLE_EQ(stats.end_s, cold_read_service_s());
+}
+
+TEST(RetryBackoff, ImmediateRetriesReenterTheEpisodeAndExhaust) {
+  const double service = cold_read_service_s();
+  auto cfg = base_cfg();
+  cfg.fault.transient_read_error_p = 1.0;
+  cfg.fault.transient_from_s = 0.0;
+  cfg.fault.transient_until_s = 2.5 * service;  // covers all 3 attempts
+  cfg.fault.seed = 3;
+  ASSERT_EQ(cfg.io_max_retries, 2);  // the default budget this test counts
+  DiskArray arr(cfg);
+  arr.initialize();
+  const Op read{0, 0, 0, disk::IoKind::kRead};
+  const auto stats = arr.execute({&read, 1}, 0.0);
+  // Attempt 1 starts at 0, retries re-submit as soon as the disk drains
+  // — all inside the episode, so the budget burns out and the op fails.
+  EXPECT_EQ(stats.retried_ops, 2u);
+  EXPECT_EQ(stats.max_retry_depth, 2);
+  EXPECT_EQ(stats.failed_ops, 1u);
+  EXPECT_EQ(stats.unreadable_ops, 0u);
+}
+
+TEST(RetryBackoff, BackoffPushesTheRetryPastTheEpisode) {
+  const double service = cold_read_service_s();
+  auto cfg = base_cfg();
+  cfg.fault.transient_read_error_p = 1.0;
+  cfg.fault.transient_from_s = 0.0;
+  cfg.fault.transient_until_s = 2.5 * service;
+  cfg.fault.seed = 3;
+  cfg.retry_backoff_s = 2.5 * service;  // first retry waits out the episode
+  DiskArray arr(cfg);
+  arr.initialize();
+  const Op read{0, 0, 0, disk::IoKind::kRead};
+  const auto stats = arr.execute({&read, 1}, 0.0);
+  // Same fault, same budget — but the delayed retry starts after the
+  // episode ends and succeeds on the second attempt.
+  EXPECT_EQ(stats.retried_ops, 1u);
+  EXPECT_EQ(stats.max_retry_depth, 1);
+  EXPECT_EQ(stats.failed_ops, 0u);
+  // The retry could not have started before backing off past the drain.
+  EXPECT_GE(stats.end_s, 2.5 * service);
+}
+
+TEST(RetryBackoff, MaxRetryDepthReportsTheWorstOpInTheBatch) {
+  const double service = cold_read_service_s();
+  auto cfg = base_cfg();
+  // Only the physical disk serving (0, 0, 0) carries the episode; the
+  // other ops in the batch are clean.
+  disk::FaultProfile flaky;
+  flaky.transient_read_error_p = 1.0;
+  flaky.transient_from_s = 0.0;
+  flaky.transient_until_s = 2.5 * service;
+  flaky.seed = 3;
+  DiskArray probe(base_cfg());
+  cfg.fault_overrides[probe.physical_disk(0, 0)] = flaky;
+  DiskArray arr(cfg);
+  arr.initialize();
+  // Same stripe => the logical->physical mapping is a permutation, so
+  // the three ops land on three distinct disks.
+  std::vector<Op> ops{{0, 0, 0, disk::IoKind::kRead},
+                      {1, 0, 0, disk::IoKind::kRead},
+                      {2, 0, 0, disk::IoKind::kRead}};
+  const auto stats = arr.execute(ops, 0.0);
+  // The flaky op exhausts its budget; the clean ops never retry. The
+  // batch reports the deepest chain, not the sum.
+  EXPECT_EQ(stats.retried_ops, 2u);
+  EXPECT_EQ(stats.max_retry_depth, 2);
+  EXPECT_EQ(stats.failed_ops, 1u);
+}
+
+}  // namespace
+}  // namespace sma::array
