@@ -507,12 +507,18 @@ std::vector<int> DiskArray::failed_physical() const {
 }
 
 BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
-  BatchStats stats;
-  stats.start_s = start_time;
-  stats.end_s = start_time;
   // One hoisted branch keeps the default (no crash, no DRL) path
   // bit-identical to the pre-integrity executor.
   const bool integrity_hooks = crash_armed_ || crashed_ || drl_.enabled();
+  // No array-level instrumentation: take the grouped-per-disk fast
+  // path. Per-disk fault machinery (fail-stops, latent sectors,
+  // transient errors, failed disks) is handled inside execute_batched
+  // by falling back to per-op submission for just those disks.
+  if (!integrity_hooks && observer_ == nullptr)
+    return execute_batched(ops, start_time);
+  BatchStats stats;
+  stats.start_s = start_time;
+  stats.end_s = start_time;
   // Write intent is logged at batch admission, before any op is issued
   // (md writes the bitmap bit before the data): a crash anywhere inside
   // the batch leaves every incomplete write's region dirty for resync.
@@ -605,6 +611,100 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
     stats.max_retry_depth = std::max(stats.max_retry_depth, attempts);
   }
   stats.max_ops_per_disk = *std::max_element(per_disk.begin(), per_disk.end());
+  return stats;
+}
+
+BatchStats DiskArray::execute_batched(std::span<const Op> ops,
+                                      double start_time) {
+  BatchStats stats;
+  stats.start_s = start_time;
+  stats.end_s = start_time;
+  const std::size_t disk_count = static_cast<std::size_t>(physical_count());
+
+  // Counting sort of op indices by physical disk — stable, so each
+  // disk's slice of batch_order_ is its FIFO op order from `ops`.
+  batch_count_.assign(disk_count, 0);
+  for (const Op& op : ops) {
+    const int phys = op.redirect_phys >= 0
+                         ? op.redirect_phys
+                         : physical_disk(op.logical_disk, op.stripe);
+    ++batch_count_[static_cast<std::size_t>(phys)];
+  }
+  batch_offset_.resize(disk_count + 1);
+  batch_offset_[0] = 0;
+  for (std::size_t d = 0; d < disk_count; ++d) {
+    batch_offset_[d + 1] = batch_offset_[d] + batch_count_[d];
+    stats.max_ops_per_disk = std::max(stats.max_ops_per_disk, batch_count_[d]);
+  }
+  batch_order_.resize(ops.size());
+  for (std::size_t d = 0; d < disk_count; ++d) batch_count_[d] = batch_offset_[d];
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const int phys = op.redirect_phys >= 0
+                         ? op.redirect_phys
+                         : physical_disk(op.logical_disk, op.stripe);
+    batch_order_[static_cast<std::size_t>(
+        batch_count_[static_cast<std::size_t>(phys)]++)] =
+        static_cast<std::uint32_t>(i);
+  }
+
+  for (std::size_t dd = 0; dd < disk_count; ++dd) {
+    const int begin = batch_offset_[dd];
+    const int end = batch_offset_[dd + 1];
+    if (begin == end) continue;
+    auto& d = disks_[dd];
+    if (d.can_batch()) {
+      batch_run_.clear();
+      std::uint64_t read_ops = 0;
+      for (int k = begin; k < end; ++k) {
+        const Op& op = ops[batch_order_[static_cast<std::size_t>(k)]];
+        batch_run_.push_back({op.kind, slot(op.stripe, op.row)});
+        read_ops += op.kind == disk::IoKind::kRead;
+      }
+      const double run_end = d.submit_run(batch_run_, start_time);
+      stats.end_s = std::max(stats.end_s, run_end);
+      stats.logical_bytes_read += read_ops * d.logical_element_bytes();
+      stats.logical_bytes_written +=
+          (static_cast<std::uint64_t>(end - begin) - read_ops) *
+          d.logical_element_bytes();
+      continue;
+    }
+    // This disk carries live fault machinery (or is failed): replay the
+    // general executor's per-op loop for its ops. Observer branches are
+    // omitted — this path only runs with no observer attached.
+    for (int k = begin; k < end; ++k) {
+      const Op& op = ops[batch_order_[static_cast<std::size_t>(k)]];
+      const std::int64_t sl = slot(op.stripe, op.row);
+      int attempts = 0;
+      double earliest = start_time;
+      for (;;) {
+        const disk::IoResult res = d.submit(op.kind, sl, earliest);
+        if (res.is_ok()) {
+          stats.end_s = std::max(stats.end_s, res.value());
+          if (op.kind == disk::IoKind::kRead)
+            stats.logical_bytes_read += d.logical_element_bytes();
+          else
+            stats.logical_bytes_written += d.logical_element_bytes();
+          break;
+        }
+        stats.end_s = std::max(stats.end_s, d.busy_until());
+        const bool transient =
+            res.status().code() == ErrorCode::kIoError && !d.failed();
+        if (transient && attempts < cfg_.io_max_retries) {
+          ++attempts;
+          ++stats.retried_ops;
+          if (cfg_.retry_backoff_s > 0.0)
+            earliest = d.busy_until() + cfg_.retry_backoff_s * attempts;
+          continue;
+        }
+        if (res.status().code() == ErrorCode::kUnreadableSector)
+          ++stats.unreadable_ops;
+        ++stats.failed_ops;
+        break;
+      }
+      stats.max_retry_depth = std::max(stats.max_retry_depth, attempts);
+    }
+  }
   return stats;
 }
 

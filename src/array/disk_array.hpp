@@ -231,6 +231,14 @@ class DiskArray {
   // --- timing ---------------------------------------------------------------
   /// Execute ops concurrently across disks: per-disk FIFO order as
   /// listed, disks independent. Content is NOT touched (timing only).
+  ///
+  /// When no array-level instrumentation is attached (no observer, no
+  /// crash/DRL hooks), ops are grouped per disk and each batchable
+  /// disk's run is timed in one SimDisk::submit_run pass. Grouping is
+  /// bit-identical to the interleaved per-op order because every
+  /// mutable effect (busy window, head position, counters, fault RNG)
+  /// is per-disk state touched in per-disk FIFO order, and the batch
+  /// aggregates (max end time, byte/op sums) are order-independent.
   BatchStats execute(std::span<const Op> ops, double start_time);
 
   /// Forget all disk head positions / timelines (fresh experiment).
@@ -277,6 +285,17 @@ class DiskArray {
   void apply_crash(const Op& op, double t);
   /// Garble a write that never (fully) reached media while powered off.
   void lose_write(const Op& op);
+
+  /// The grouped-per-disk executor behind execute()'s fast path.
+  BatchStats execute_batched(std::span<const Op> ops, double start_time);
+
+  // Scratch for execute_batched (capacity persists across calls, so
+  // steady-state batches do not allocate). DiskArray is single-threaded
+  // per simulation case.
+  std::vector<int> batch_count_;
+  std::vector<int> batch_offset_;
+  std::vector<std::uint32_t> batch_order_;
+  std::vector<disk::RunAccess> batch_run_;
 };
 
 }  // namespace sma::array

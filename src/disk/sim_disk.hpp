@@ -60,6 +60,12 @@ struct TraceEntry {
 /// transient error), kUnreadableSector (latent media error).
 using IoResult = Result<double>;
 
+/// One access of a batched run (submit_run()).
+struct RunAccess {
+  IoKind kind = IoKind::kRead;
+  std::int64_t slot = 0;
+};
+
 class SimDisk {
  public:
   SimDisk(int id, DiskSpec spec, std::int64_t slot_count,
@@ -85,6 +91,53 @@ class SimDisk {
     assert(r.is_ok() && "submit_ok used on a fallible path");
     return r.is_ok() ? r.value() : busy_until_;
   }
+
+  /// True when a run of accesses can be timed in one batched pass
+  /// (submit_run()) with results bit-identical to repeated submit():
+  /// no fault machinery able to fire mid-run and no per-op
+  /// instrumentation attached. Queried per run — installing a profile
+  /// or attaching an observer flips consumers back to the per-op path.
+  bool can_batch() const {
+    return !failed_ && !fail_stop_armed_ && !tracing_ &&
+           observer_ == nullptr && latent_count_ == 0 &&
+           fault_.transient_read_error_p <= 0.0 &&
+           fault_.transient_write_error_p <= 0.0;
+  }
+
+  /// True while a scheduled fail-stop has yet to manifest. Consumers
+  /// whose batched fast paths assume the failure set cannot change
+  /// mid-run (the disk's death replans work on *other* disks) check
+  /// this across the whole array, not just the disk being batched.
+  bool fail_stop_armed() const { return fail_stop_armed_; }
+
+  /// Enqueue a run of accesses back to back, each starting no earlier
+  /// than `earliest_start` — exactly equivalent to calling submit() for
+  /// each access in order (every access succeeds under the can_batch()
+  /// preconditions), but with the range checks, fault branches, and
+  /// seek/transfer constants hoisted out of the loop. Returns the
+  /// completion time of the last access. Precondition: can_batch().
+  double submit_run(std::span<const RunAccess> run, double earliest_start);
+
+  /// What submit_run_while committed: how many leading accesses of the
+  /// run entered service and when the last of them completes.
+  struct RunWhile {
+    std::size_t submitted = 0;
+    double end = 0.0;
+  };
+  /// Conditional-prefix variant of submit_run() for event-batched queue
+  /// drains: submits accesses in order, but an access only enters
+  /// service while the previous completion lands strictly before
+  /// `stop_before` — the simulated moment something else (e.g. the next
+  /// user arrival) could preempt the drain. With `force_first` the
+  /// first access is submitted unconditionally (its dispatch is already
+  /// committed in the one-event-per-op world; a future arrival cannot
+  /// preempt an access that has entered service) — continuation chunks
+  /// of a longer drain pass false. Timing, head movement, and counters
+  /// are bit-identical to per-access submit() calls for the submitted
+  /// prefix. Precondition: can_batch().
+  RunWhile submit_run_while(std::span<const RunAccess> run,
+                            double earliest_start, double stop_before,
+                            bool force_first);
 
   /// Service time the next access to `slot` would incur (no state
   /// change); used by planners that want cost estimates.

@@ -235,9 +235,14 @@ void do_multi_xor(const RegionKernels& k,
   if (srcs.empty() || dst.empty()) return;
   constexpr std::size_t kInline = 64;
   const std::uint8_t* inline_ptrs[kInline];
-  std::vector<const std::uint8_t*> heap_ptrs;
+  // Reusable per-thread fallback: wide arrays hit this on every
+  // stripe, so the scratch keeps its capacity instead of paying an
+  // allocation per call (thread_local because sweeps run cases on
+  // worker threads).
+  static thread_local std::vector<const std::uint8_t*> heap_ptrs;
   const std::uint8_t** ptrs = inline_ptrs;
   if (srcs.size() > kInline) {
+    heap_ptrs.reserve(srcs.size());
     heap_ptrs.resize(srcs.size());
     ptrs = heap_ptrs.data();
   }
@@ -267,12 +272,16 @@ void do_dot(const RegionKernels& k, std::span<const std::uint8_t> coeffs,
   constexpr std::size_t kInline = 16;
   const std::uint8_t* inline_ptrs[kInline];
   std::uint8_t inline_tabs[kInline * kNibbleTableBytes];
-  std::vector<const std::uint8_t*> heap_ptrs;
-  std::vector<std::uint8_t> heap_tabs;
+  // Reusable per-thread fallback, as in do_multi_xor: reserved once,
+  // no allocation on subsequent wide-row calls.
+  static thread_local std::vector<const std::uint8_t*> heap_ptrs;
+  static thread_local std::vector<std::uint8_t> heap_tabs;
   const std::uint8_t** ptrs = inline_ptrs;
   std::uint8_t* tabs = inline_tabs;
   if (live > kInline) {
+    heap_ptrs.reserve(live);
     heap_ptrs.resize(live);
+    heap_tabs.reserve(live * kNibbleTableBytes);
     heap_tabs.resize(live * kNibbleTableBytes);
     ptrs = heap_ptrs.data();
     tabs = heap_tabs.data();

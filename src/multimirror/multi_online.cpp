@@ -81,8 +81,12 @@ Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
   std::size_t rebuild_jobs = 0;
   for (int s = 0; s < arr.stripes(); ++s) {
     std::vector<int> failed_logical;
-    for (const int p : failed) failed_logical.push_back(arr.logical_disk(p, s));
-    std::sort(failed_logical.begin(), failed_logical.end());
+    for (const int p : failed) {
+      const int l = arr.logical_disk(p, s);
+      failed_logical.insert(
+          std::upper_bound(failed_logical.begin(), failed_logical.end(), l),
+          l);
+    }
     auto plan = layout.plan(failed_logical);
     if (!plan.is_ok()) return plan.status();
     for (const auto& read : plan.value().unique_reads) {
@@ -154,7 +158,7 @@ Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
         if (slo_target > 0.0 && latency > slo_target) ++report.slo_violations;
         if (throttle.adaptive()) window.push_back(latency);
         if (proc->closed_loop())
-          sim.schedule_in(proc->think_delay(rng), arrive);
+          sim.schedule_in(proc->think_delay(rng), [&arrive] { arrive(); });
       } else {
         --rebuild_remaining;
         throttle.on_complete();
@@ -224,7 +228,7 @@ Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
     }
     if (!proc->closed_loop()) {
       const double delay = proc->next_delay(rng);
-      if (delay >= 0.0) sim.schedule_in(delay, arrive);
+      if (delay >= 0.0) sim.schedule_in(delay, [&arrive] { arrive(); });
     }
   };
 
@@ -250,15 +254,18 @@ Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
       ob->emit(ev);
     }
     if (delta > 0) kick_waiting();
-    sim.schedule_in(cfg.qos.control_interval_s, control_tick);
+    sim.schedule_in(cfg.qos.control_interval_s,
+                    [&control_tick] { control_tick(); });
   };
   if (throttle.adaptive())
-    sim.schedule_in(cfg.qos.control_interval_s, control_tick);
+    sim.schedule_in(cfg.qos.control_interval_s,
+                    [&control_tick] { control_tick(); });
 
   if (proc->closed_loop()) {
-    for (int c = 0; c < proc->clients(); ++c) sim.schedule_at(0.0, arrive);
+    for (int c = 0; c < proc->clients(); ++c)
+      sim.schedule_at(0.0, [&arrive] { arrive(); });
   } else {
-    sim.schedule_at(proc->first_arrival_s(), arrive);
+    sim.schedule_at(proc->first_arrival_s(), [&arrive] { arrive(); });
   }
   for (int d = 0; d < arr.total_disks(); ++d)
     if (!arr.physical(d).failed()) sim.schedule_at(0.0, [&, d] { dispatch(d); });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -119,6 +120,25 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   std::vector<int> stripe_pending(static_cast<std::size_t>(arr.stripes()), 0);
   std::size_t rebuild_remaining = 0;
 
+  // Event-batched rebuild drains (OnlineConfig::batch_drains): legal
+  // only when nothing can preempt, reshape, or observe a run mid-flight.
+  // Closed-loop arrivals depend on completions, a throttle meters
+  // rebuild admission per op, an observer samples per-op events, and a
+  // second failure — configured or armed in any disk's fault profile —
+  // drops rebuild queues array-wide when it lands. Per-disk fault
+  // machinery (transients, latent sectors) is re-checked at each drain
+  // via SimDisk::can_batch().
+  const double kNever = std::numeric_limits<double>::infinity();
+  bool batching = cfg.batch_drains && !proc->closed_loop() &&
+                  !throttle.enabled() && ob == nullptr && !inject_second;
+  for (std::size_t d = 0; batching && d < ndisks; ++d)
+    if (arr.physical(static_cast<int>(d)).fail_stop_armed()) batching = false;
+  // When the next user request arrives — the preemption horizon that
+  // bounds every batched drain. Open loop only ever has one pending
+  // arrival event, so the horizon is a single scalar.
+  double next_arrival = kNever;
+  std::vector<disk::RunAccess> batch_run;  // scratch, reused per drain
+
   if (ob != nullptr) {
     arr.set_observer(ob);
     sim.set_observer(ob);
@@ -184,37 +204,73 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
 
   // (Re)plan the rebuild reads of one stripe against the current failed
   // set and enqueue them. Returns false on planning failure.
-  auto plan_stripe = [&](int s) -> bool {
-    std::vector<int> failed_logical;
-    for (const int p : arr.failed_physical())
-      failed_logical.push_back(arr.logical_disk(p, s));
-    std::sort(failed_logical.begin(), failed_logical.end());
-    auto plan = plan_reconstruction(arch, failed_logical);
-    if (!plan.is_ok()) return false;
-    for (const auto& read : plan.value().availability_reads) {
-      const int phys = arr.physical_disk(read.logical_disk, s);
+  //
+  // Stack rotation makes stripe geometry periodic: stripe s's failed
+  // *logical* set — and therefore its plan and the physical placement
+  // of every planned read — depends only on s mod total_disks. A
+  // planning wave over the whole array compiles one template per
+  // rotation class (the (physical disk, row) pairs of its rebuild
+  // reads) and stamps it out per stripe at the stripe's slot base,
+  // instead of re-running the planner thousands of times. Templates are
+  // invalidated when the failed set changes (handle_disk_death). The
+  // physical failed set is likewise invariant within a wave; callers
+  // pass it in instead of re-materializing it per stripe.
+  struct StripeTemplate {
+    bool compiled = false;
+    std::vector<std::pair<int, int>> reads;  // (physical disk, row)
+  };
+  const int total_disks = arr.total_disks();
+  std::vector<StripeTemplate> plan_cache(
+      static_cast<std::size_t>(total_disks));
+  std::vector<int> failed_logical;  // scratch, reused per compile
+  auto plan_stripe = [&](int s, const std::vector<int>& failed_phys) -> bool {
+    StripeTemplate& tpl =
+        plan_cache[static_cast<std::size_t>(s % total_disks)];
+    if (!tpl.compiled) {
+      tpl.reads.clear();
+      failed_logical.clear();
+      for (const int p : failed_phys) {
+        const int l = arr.logical_disk(p, s);
+        failed_logical.insert(
+            std::upper_bound(failed_logical.begin(), failed_logical.end(), l),
+            l);
+      }
+      auto planned = plan_reconstruction(arch, failed_logical);
+      if (!planned.is_ok()) return false;
+      for (const auto& read : planned.value().availability_reads)
+        tpl.reads.emplace_back(arr.physical_disk(read.logical_disk, s),
+                               read.row);
+      tpl.compiled = true;
+    }
+    // arr.slot(s, row) is row-major: s * rows + row (asserted by the
+    // array's own accessor, which the trace path below still uses).
+    const std::int64_t slot_base =
+        static_cast<std::int64_t>(s) * arch.rows();
+    for (const auto& [phys, row] : tpl.reads) {
       Job job;
-      job.slot = arr.slot(s, read.row);
+      job.slot = slot_base + row;
       job.kind = disk::IoKind::kRead;
       job.stripe = s;
       queues[static_cast<std::size_t>(phys)].rebuild.push_back(job);
-      ++stripe_pending[static_cast<std::size_t>(s)];
-      ++rebuild_remaining;
       if (ob != nullptr) {
         obs::TraceEvent ev;
         ev.kind = obs::EventKind::kRebuildIssue;
         ev.t_s = sim.now();
         ev.disk = phys;
         ev.stripe = s;
-        ev.slot = job.slot;
+        ev.slot = arr.slot(s, row);
         ev.rebuild = true;
         ob->emit(ev);
       }
     }
+    stripe_pending[static_cast<std::size_t>(s)] +=
+        static_cast<int>(tpl.reads.size());
+    rebuild_remaining += tpl.reads.size();
     return true;
   };
   for (int s = 0; s < arr.stripes(); ++s)
-    if (!plan_stripe(s)) return internal_error("initial rebuild plan failed");
+    if (!plan_stripe(s, initial_failed))
+      return internal_error("initial rebuild plan failed");
 
   OnlineReport report;
 
@@ -275,7 +331,7 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       if (slo_target > 0.0 && latency > slo_target) ++report.slo_violations;
       if (throttle.adaptive()) window.push_back(latency);
     }
-    if (proc->closed_loop()) sim.schedule_in(proc->think_delay(rng), arrive);
+    if (proc->closed_loop()) sim.schedule_in(proc->think_delay(rng), [&arrive] { arrive(); });
   };
 
   // Retire one job — user piece (request accounting on the last piece)
@@ -321,6 +377,61 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     if (arr.physical(disk).failed()) return;
     auto& q = queues[static_cast<std::size_t>(disk)];
     if (q.busy) return;
+    // Batched drain: an idle disk holding only rebuild work commits a
+    // whole run in one pass and schedules a single completion event at
+    // the run's end, instead of one event per element. The run is
+    // bounded by the next arrival: an access enters service only while
+    // the previous completion lands strictly *before* it — exactly when
+    // the per-event path would have dispatched it (at a tie the arrival
+    // event carries the earlier sequence number in both worlds, so the
+    // user job is already queued when the completion fires). The first
+    // access is forced: this dispatch call commits it regardless.
+    // Completions are retired at the run's end; that can only move a
+    // *global* milestone (rebuild_remaining hitting zero) if the
+    // milestone op is the run's own last element, whose end time the
+    // event carries exactly.
+    if (batching && q.user.empty() && q.rebuild.size() > 1 &&
+        arr.physical(disk).can_batch()) {
+      disk::SimDisk& d = arr.physical(disk);
+      // Chunked scan so a drain bounded by a near arrival never walks
+      // the whole queue to take a short prefix.
+      constexpr std::size_t kChunk = 64;
+      std::size_t taken = 0;
+      double end = 0.0;
+      bool force_first = true;
+      for (;;) {
+        const std::size_t chunk = std::min(kChunk, q.rebuild.size() - taken);
+        if (chunk == 0) break;
+        batch_run.clear();
+        for (std::size_t i = 0; i < chunk; ++i) {
+          const Job& j = q.rebuild[taken + i];
+          batch_run.push_back({j.kind, j.slot});
+        }
+        const disk::SimDisk::RunWhile rw =
+            d.submit_run_while(batch_run, sim.now(), next_arrival, force_first);
+        if (rw.submitted > 0) end = rw.end;
+        taken += rw.submitted;
+        if (rw.submitted < chunk) break;
+        force_first = false;
+      }
+      // The taken prefix stays in the deque until the run completes:
+      // under the batch gate nothing can touch it meanwhile (this disk
+      // is busy, planning waves only happen at start and on a disk
+      // death, kick_waiting is throttle-only), so the completion event
+      // needs just the count — no per-job capture.
+      for (std::size_t i = 0; i < taken; ++i) throttle.on_issue();
+      q.busy = true;
+      sim.schedule_at(end, [&, disk, taken] {
+        auto& dq = queues[static_cast<std::size_t>(disk)];
+        dq.busy = false;
+        for (std::size_t i = 0; i < taken; ++i) {
+          complete_job(dq.rebuild.front(), disk);
+          dq.rebuild.pop_front();
+        }
+        dispatch(disk);
+      });
+      return;
+    }
     Job job;
     if (!q.user.empty()) {
       job = q.user.front();
@@ -479,7 +590,10 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   // re-arms from finish_request).
   int injected = 0;
   arrive = [&] {
-    if (injected >= acfg.max_requests) return;
+    if (injected >= acfg.max_requests) {
+      next_arrival = kNever;
+      return;
+    }
     ++injected;
     const int data_disk =
         static_cast<int>(rng.next_below(static_cast<std::uint64_t>(arch.n())));
@@ -550,7 +664,14 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     }
     if (!proc->closed_loop()) {
       const double delay = proc->next_delay(rng);
-      if (delay >= 0.0) sim.schedule_in(delay, arrive);
+      if (delay >= 0.0) {
+        // schedule_in(delay) resolves to exactly now + delay; computing
+        // the horizon here keeps it bit-equal to the event's time.
+        next_arrival = sim.now() + delay;
+        sim.schedule_at(next_arrival, [&arrive] { arrive(); });
+      } else {
+        next_arrival = kNever;
+      }
     }
   };
 
@@ -576,8 +697,10 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     // are read again, a bounded overestimate of rebuild work that
     // keeps the planner the single source of truth for what the
     // double-failure rebuild needs.
+    for (auto& tpl : plan_cache) tpl.compiled = false;
+    const std::vector<int> failed_phys = arr.failed_physical();
     for (int s = 0; s < arr.stripes(); ++s) {
-      if (!plan_stripe(s)) {
+      if (!plan_stripe(s, failed_phys)) {
         injection_failed = true;
         return;
       }
@@ -656,15 +779,19 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       ob->emit(ev);
     }
     if (delta > 0) kick_waiting();
-    sim.schedule_in(cfg.qos.control_interval_s, control_tick);
+    sim.schedule_in(cfg.qos.control_interval_s,
+                    [&control_tick] { control_tick(); });
   };
   if (throttle.adaptive())
-    sim.schedule_in(cfg.qos.control_interval_s, control_tick);
+    sim.schedule_in(cfg.qos.control_interval_s,
+                    [&control_tick] { control_tick(); });
 
   if (proc->closed_loop()) {
-    for (int c = 0; c < proc->clients(); ++c) sim.schedule_at(0.0, arrive);
+    for (int c = 0; c < proc->clients(); ++c)
+      sim.schedule_at(0.0, [&arrive] { arrive(); });
   } else {
-    sim.schedule_at(proc->first_arrival_s(), arrive);
+    next_arrival = proc->first_arrival_s();
+    sim.schedule_at(next_arrival, [&arrive] { arrive(); });
   }
   for (int d = 0; d < arr.total_disks(); ++d)
     if (!arr.physical(d).failed()) sim.schedule_at(0.0, [&, d] { dispatch(d); });

@@ -53,6 +53,15 @@ struct OnlineConfig {
   /// on the dead disk are rerouted or dropped onto surviving copies.
   double second_failure_at_s = -1.0;
   int second_failure_disk = -1;
+  /// Batch idle-disk rebuild drains into one kernel event per run
+  /// instead of one per element (SimDisk::submit_run_while). Applies
+  /// only when nothing can interact with a run mid-flight — open-loop
+  /// arrivals, strict-priority rebuild, no observer, no second-failure
+  /// injection, no armed fault machinery — and is bit-identical to the
+  /// per-element path there (enforced by test and by the drift gate).
+  /// Off reproduces the seed kernel's one-event-per-element schedule;
+  /// bench_sim_kernel measures the gap.
+  bool batch_drains = true;
   /// Optional observability hooks (borrowed, caller-owned; see
   /// obs::Attach for the uniform semantics). With a TraceSink attached
   /// the run emits the full event stream — request arrivals, queue

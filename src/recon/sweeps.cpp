@@ -9,24 +9,20 @@
 #include "recon/executor.hpp"
 #include "recon/reliability.hpp"
 #include "recon/scrub.hpp"
+#include "sim/multi_kernel.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 
 namespace sma::recon {
 
 namespace {
 
-/// Run body(i) for every case, serially when threads == 1, and surface
-/// the first failing case's status (cases are independent, so "first"
-/// by index is deterministic too).
+/// Run body(i) for every case on the deterministic parallel driver and
+/// surface the first failing case's status ("first" by index, so the
+/// answer does not depend on scheduling).
 template <typename Fn>
 Status run_cases(std::size_t count, std::size_t threads, Fn&& body) {
-  std::vector<Status> statuses(count);
-  parallel_for(
-      count, [&](std::size_t i) { statuses[i] = body(i); }, threads);
-  for (const auto& s : statuses)
-    if (!s.is_ok()) return s;
-  return Status::ok();
+  sim::MultiKernel kernel({threads});
+  return kernel.run_status(count, std::forward<Fn>(body));
 }
 
 /// Measured MTTR: rebuild one failed disk carrying `data_gb` of data.

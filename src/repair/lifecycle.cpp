@@ -47,8 +47,8 @@ Status Lifecycle::on_failure(double t_s, int disk) {
   if (contains(failed_, disk))
     return failed_precondition("disk " + std::to_string(disk) +
                                " failed twice without a repair");
-  failed_.push_back(disk);
-  std::sort(failed_.begin(), failed_.end());
+  failed_.insert(std::upper_bound(failed_.begin(), failed_.end(), disk),
+                 disk);
   return reclassify(t_s, "failure of disk " + std::to_string(disk));
 }
 

@@ -1,0 +1,13 @@
+#include "sim/multi_kernel.hpp"
+
+namespace sma::sim {
+
+Status MultiKernel::run_status(
+    std::size_t count, const std::function<Status(std::size_t)>& body) {
+  const std::vector<Status> statuses = map(count, body);
+  for (const Status& s : statuses)
+    if (!s.is_ok()) return s;
+  return Status::ok();
+}
+
+}  // namespace sma::sim

@@ -1,0 +1,81 @@
+// sim::MultiKernel — deterministic parallel driver for independent
+// simulation cases.
+//
+// A fleet experiment is many single-threaded simulations that share
+// nothing: each case builds its own arrays, seeds its own RNGs from the
+// case parameters (the discipline recon::sweeps established), and
+// writes only its own slot of the result vector. Under those rules the
+// outcome is a pure function of the case index, so running the cases on
+// one thread or sixteen must — and, enforced in-test, does — produce
+// bit-identical results. MultiKernel packages that contract: fan out
+// with map(), aggregate wall-clock/throughput in stats(), and surface
+// the first failing case deterministically with run_status().
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sma::sim {
+
+struct MultiKernelOptions {
+  /// Worker threads; 0 means hardware concurrency, 1 runs the cases
+  /// in-order on the calling thread.
+  std::size_t threads = 0;
+};
+
+struct MultiKernelStats {
+  std::size_t cases = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+};
+
+class MultiKernel {
+ public:
+  explicit MultiKernel(MultiKernelOptions options = {})
+      : options_(options) {}
+
+  /// Run body(i) for i in [0, count) and collect the results by index.
+  /// body must depend only on i (no shared mutable state), which is
+  /// what makes the fan-out order-invariant.
+  template <class Body>
+  auto map(std::size_t count, Body&& body)
+      -> std::vector<decltype(body(std::size_t{0}))> {
+    using R = decltype(body(std::size_t{0}));
+    std::vector<R> results(count);
+    const auto start = std::chrono::steady_clock::now();
+    if (options_.threads == 1) {
+      for (std::size_t i = 0; i < count; ++i) results[i] = body(i);
+    } else {
+      parallel_for(
+          count, [&](std::size_t i) { results[i] = body(i); },
+          options_.threads);
+    }
+    stats_.cases += count;
+    stats_.threads = options_.threads;
+    stats_.wall_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return results;
+  }
+
+  /// map() for Status-returning cases: surface the first failing
+  /// case's status ("first" by index, so the answer is deterministic
+  /// regardless of completion order).
+  Status run_status(std::size_t count,
+                    const std::function<Status(std::size_t)>& body);
+
+  const MultiKernelOptions& options() const { return options_; }
+  const MultiKernelStats& stats() const { return stats_; }
+
+ private:
+  MultiKernelOptions options_;
+  MultiKernelStats stats_;
+};
+
+}  // namespace sma::sim

@@ -1,16 +1,31 @@
-// Minimal discrete-event simulation kernel.
+// Discrete-event simulation kernel.
 //
 // Used by the on-line reconstruction experiments, where user read
 // requests arrive while rebuild I/O drains in the background and the
 // two must interleave on per-disk queues. The batch throughput
 // experiments use the disks' timeline model directly and do not need
 // the kernel.
+//
+// The hot path is calendar-queue scheduling (O(1) amortized
+// insert/extract) over arena-backed sim::Task events (zero steady-state
+// heap traffic). Two alternative backends are selectable per Simulation
+// or process-wide: a binary-heap reference with the same Event/Task
+// machinery, and a "legacy" replica of the original
+// std::priority_queue + std::function kernel kept as the baseline that
+// bench_sim_kernel measures speedups against. All backends honour the
+// same contract: events fire in (when, seq) order — earliest first,
+// FIFO among same-instant events — and produce bit-identical runs.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
 
 namespace sma::obs {
 struct Observer;
@@ -18,9 +33,27 @@ struct Observer;
 
 namespace sma::sim {
 
+enum class QueueBackend {
+  kCalendar,  // calendar queue + Task arena (production)
+  kHeap,      // binary heap + Task arena (reference)
+  kLegacy,    // std::function binary heap (seed-kernel cost replica)
+};
+
+/// Backend used by default-constructed Simulations: the programmatic
+/// override if one was set, else the SMA_SIM_QUEUE environment variable
+/// ("calendar", "heap", "legacy"), else kCalendar.
+QueueBackend default_queue_backend();
+/// Process-wide programmatic override (takes precedence over the
+/// environment). Used by benches to compare backends in-process.
+void set_default_queue_backend(QueueBackend backend);
+
 class Simulation {
  public:
+  Simulation() : Simulation(default_queue_backend()) {}
+  explicit Simulation(QueueBackend backend) : backend_(backend) {}
+
   double now() const { return now_; }
+  QueueBackend backend() const { return backend_; }
 
   /// Attach an observer: as the clock advances past metric-sampling
   /// cadence boundaries the kernel drives MetricsRegistry::advance_to,
@@ -31,9 +64,31 @@ class Simulation {
   obs::Observer* observer() const { return observer_; }
 
   /// Schedule `fn` to run at absolute simulated time `when` (>= now).
-  void schedule_at(double when, std::function<void()> fn);
+  template <class F>
+  void schedule_at(double when, F&& fn) {
+    assert(when >= now_ && "cannot schedule into the past");
+    const std::uint64_t seq = next_seq_++;
+    switch (backend_) {
+      case QueueBackend::kCalendar:
+        calendar_.push(Event{when, seq, Task(std::forward<F>(fn), &arena_)});
+        break;
+      case QueueBackend::kHeap:
+        heap_.push(Event{when, seq, Task(std::forward<F>(fn), &arena_)});
+        break;
+      case QueueBackend::kLegacy:
+        legacy_.push_back(
+            LegacyEvent{when, seq, std::function<void()>(std::forward<F>(fn))});
+        std::push_heap(legacy_.begin(), legacy_.end(), legacy_later);
+        break;
+    }
+  }
+
   /// Schedule `fn` after `delay` seconds of simulated time.
-  void schedule_in(double delay, std::function<void()> fn);
+  template <class F>
+  void schedule_in(double delay, F&& fn) {
+    assert(delay >= 0.0);
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Run events until the queue drains. Returns the final clock.
   double run();
@@ -42,25 +97,34 @@ class Simulation {
   double run_until(double deadline);
 
   std::size_t executed_events() const { return executed_; }
+  std::size_t pending_events() const;
 
  private:
-  struct Event {
+  struct LegacyEvent {
     double when;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t seq;
     std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static bool legacy_later(const LegacyEvent& a, const LegacyEvent& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  template <class Q>
+  double drain_until(Q& queue, double deadline);
+  double drain_legacy_until(double deadline);
 
   double now_ = 0.0;
   obs::Observer* observer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  QueueBackend backend_;
+  // The arena outlives the queues (members destroy in reverse order),
+  // so Tasks still pending at teardown release into a live arena.
+  TaskArena arena_;
+  CalendarQueue calendar_;
+  BinaryHeapQueue heap_;
+  std::vector<LegacyEvent> legacy_;
 };
 
 }  // namespace sma::sim

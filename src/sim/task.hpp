@@ -1,0 +1,227 @@
+// sim::Task — a small-buffer-optimized, move-only callable, and
+// sim::TaskArena — a slab allocator for the callables that do not fit
+// inline.
+//
+// The event kernel schedules millions of closures per run; wrapping
+// each one in std::function costs a heap allocation + free per event
+// for any capture list beyond two pointers. Task stores the callable
+// inline (kInlineBytes covers every closure the simulators schedule
+// today), and routes the rare oversized callable through a size-classed
+// slab arena whose blocks are recycled on a free list — so steady-state
+// scheduling performs zero calls into the global allocator either way.
+//
+// Tasks are created only by Simulation::schedule_at, which passes its
+// arena; the arena must outlive every Task it backed (Simulation owns
+// both and declares the arena first).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sma::sim {
+
+class TaskArena {
+ public:
+  TaskArena() = default;
+  TaskArena(const TaskArena&) = delete;
+  TaskArena& operator=(const TaskArena&) = delete;
+  ~TaskArena() {
+    for (void* slab : slabs_) ::operator delete(slab);
+  }
+
+  /// Smallest size class; classes double up to kMaxBlockBytes, beyond
+  /// which allocations fall through to the global allocator.
+  static constexpr std::size_t kMinBlockBytes = 128;
+  static constexpr std::size_t kMaxBlockBytes = 4096;
+  static constexpr std::size_t kBlocksPerSlab = 64;
+
+  void* allocate(std::size_t bytes) {
+    const int cls = class_of(bytes);
+    if (cls < 0) {
+      ++oversize_allocs_;
+      return ::operator new(bytes);
+    }
+    FreeNode*& head = free_[static_cast<std::size_t>(cls)];
+    if (head == nullptr) refill(cls);
+    FreeNode* node = head;
+    head = node->next;
+    return node;
+  }
+
+  void release(void* block, std::size_t bytes) {
+    const int cls = class_of(bytes);
+    if (cls < 0) {
+      ::operator delete(block);
+      return;
+    }
+    FreeNode* node = static_cast<FreeNode*>(block);
+    node->next = free_[static_cast<std::size_t>(cls)];
+    free_[static_cast<std::size_t>(cls)] = node;
+  }
+
+  /// Slabs fetched from the global allocator so far (stable once the
+  /// simulation reaches steady state).
+  std::size_t slab_count() const { return slabs_.size(); }
+  /// Allocations too large for any size class (always heap round-trips).
+  std::uint64_t oversize_allocs() const { return oversize_allocs_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static constexpr std::size_t kClasses = 6;  // 128..4096
+
+  static int class_of(std::size_t bytes) {
+    std::size_t sz = kMinBlockBytes;
+    for (std::size_t c = 0; c < kClasses; ++c, sz *= 2)
+      if (bytes <= sz) return static_cast<int>(c);
+    return -1;
+  }
+  static std::size_t class_bytes(int cls) {
+    return kMinBlockBytes << static_cast<unsigned>(cls);
+  }
+
+  void refill(int cls) {
+    const std::size_t block = class_bytes(cls);
+    void* slab = ::operator new(block * kBlocksPerSlab);
+    slabs_.push_back(slab);
+    auto* base = static_cast<std::byte*>(slab);
+    FreeNode*& head = free_[static_cast<std::size_t>(cls)];
+    for (std::size_t i = 0; i < kBlocksPerSlab; ++i) {
+      auto* node = reinterpret_cast<FreeNode*>(base + i * block);
+      node->next = head;
+      head = node;
+    }
+  }
+
+  std::vector<void*> slabs_;
+  FreeNode* free_[kClasses] = {};
+  std::uint64_t oversize_allocs_ = 0;
+};
+
+class Task {
+ public:
+  /// Inline capacity: two words, enough for the thunk-style closures
+  /// ([&arrive], [&control_tick], [&fn, arg]) the simulators schedule.
+  /// Deliberately small — a fat inline buffer makes every Event fat,
+  /// and the queues move/compare Events constantly; larger captures
+  /// (job completions carry a Job by value plus ~10 references) go
+  /// through the arena's recycled free lists instead, which stays
+  /// malloc-free in steady state. sim_event_queue_test pins
+  /// representative capture sizes to their expected paths.
+  static constexpr std::size_t kInlineBytes = 16;
+
+  Task() = default;
+
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Task>>>
+  explicit Task(F&& fn, TaskArena* arena = nullptr) {
+    using Fd = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fd&>);
+    if constexpr (sizeof(Fd) <= kInlineBytes &&
+                  alignof(Fd) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fd>) {
+      ::new (static_cast<void*>(inline_buf_)) Fd(std::forward<F>(fn));
+      ops_ = &inline_ops<Fd>;
+    } else {
+      auto* block = static_cast<HeapBlock*>(
+          arena != nullptr ? arena->allocate(sizeof(HeapBlock) + sizeof(Fd))
+                           : ::operator new(sizeof(HeapBlock) + sizeof(Fd)));
+      block->arena = arena;
+      block->bytes = sizeof(HeapBlock) + sizeof(Fd);
+      ::new (block->payload()) Fd(std::forward<F>(fn));
+      heap_ = block;
+      ops_ = &heap_ops<Fd>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  /// True when the callable lives in the inline buffer (no allocation).
+  bool inline_stored() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  void operator()() { ops_->invoke(target()); }
+
+ private:
+  struct HeapBlock {
+    TaskArena* arena;
+    std::size_t bytes;
+    void* payload() { return this + 1; }
+  };
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    /// Inline storage only: move-construct into dst, destroy src.
+    void (*relocate)(void* dst, void* src);
+    bool inline_storage;
+  };
+
+  template <class Fd>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<Fd*>(p))(); },
+      [](void* p) { static_cast<Fd*>(p)->~Fd(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fd(std::move(*static_cast<Fd*>(src)));
+        static_cast<Fd*>(src)->~Fd();
+      },
+      true};
+  template <class Fd>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (*static_cast<Fd*>(p))(); },
+      [](void* p) { static_cast<Fd*>(p)->~Fd(); },
+      nullptr, false};
+
+  void* target() {
+    return ops_->inline_storage ? static_cast<void*>(inline_buf_)
+                                : heap_->payload();
+  }
+
+  void reset() {
+    if (ops_ == nullptr) return;
+    if (ops_->inline_storage) {
+      ops_->destroy(inline_buf_);
+    } else {
+      ops_->destroy(heap_->payload());
+      HeapBlock* block = heap_;
+      if (block->arena != nullptr)
+        block->arena->release(block, block->bytes);
+      else
+        ::operator delete(block);
+    }
+    ops_ = nullptr;
+  }
+
+  void move_from(Task& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->inline_storage) {
+      ops_->relocate(inline_buf_, other.inline_buf_);
+    } else {
+      heap_ = other.heap_;
+    }
+    other.ops_ = nullptr;
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char inline_buf_[kInlineBytes];
+    HeapBlock* heap_;
+  };
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace sma::sim

@@ -425,5 +425,95 @@ TEST(Online, ServiceSpansAreOrderedPerDisk) {
   EXPECT_GT(spans, 0u);
 }
 
+// The event-batched rebuild drain (OnlineConfig::batch_drains, default
+// on) must reproduce the one-event-per-element schedule bit for bit:
+// batching changes how many kernel events the drain costs, never what
+// the simulated array does. Swept across arrangements, scales, and
+// read/write mixes; every report field that is not a wall-clock
+// artifact must be exactly equal.
+TEST(Online, BatchedDrainsMatchPerEventSchedule) {
+  struct Case {
+    int n;
+    bool shifted;
+    int stacks;
+    double rate_hz;
+    int max_requests;
+    double write_fraction;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {5, true, 4, 40, 300, 0.0, 7},
+      {5, false, 4, 40, 300, 0.0, 7},
+      {3, true, 32, 400, 1500, 0.5, 99},
+      {7, true, 64, 30, 200, 0.2, 2012},
+  };
+  for (const Case& c : cases) {
+    auto run = [&](bool batch) {
+      array::DiskArray arr(
+          cfg_for(layout::Architecture::mirror(c.n, c.shifted), c.stacks));
+      arr.fail_physical(1);
+      OnlineConfig cfg;
+      cfg.arrival.rate_hz = c.rate_hz;
+      cfg.arrival.max_requests = c.max_requests;
+      cfg.arrival.seed = c.seed;
+      cfg.mix.write_fraction = c.write_fraction;
+      cfg.batch_drains = batch;
+      auto report = run_online_reconstruction(arr, cfg);
+      EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+      return report.is_ok() ? report.value() : OnlineReport{};
+    };
+    const OnlineReport a = run(true);
+    const OnlineReport b = run(false);
+    EXPECT_EQ(a.rebuild_done_s, b.rebuild_done_s);  // bit-exact on purpose
+    EXPECT_EQ(a.requests_issued, b.requests_issued);
+    EXPECT_EQ(a.requests_completed, b.requests_completed);
+    EXPECT_EQ(a.user_reads, b.user_reads);
+    EXPECT_EQ(a.user_writes, b.user_writes);
+    EXPECT_EQ(a.degraded_reads, b.degraded_reads);
+    EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+    EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
+    EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
+    EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+    EXPECT_EQ(a.p999_latency_s, b.p999_latency_s);
+    EXPECT_EQ(a.max_latency_s, b.max_latency_s);
+    EXPECT_EQ(a.mean_degraded_latency_s, b.mean_degraded_latency_s);
+    EXPECT_EQ(a.mean_write_latency_s, b.mean_write_latency_s);
+    EXPECT_EQ(a.p99_write_latency_s, b.p99_write_latency_s);
+    EXPECT_EQ(a.state_changes, b.state_changes);
+    EXPECT_EQ(a.final_state, b.final_state);
+  }
+}
+
+// Configurations outside the batch gate — a throttle policy, a second
+// failure, fault profiles able to fire mid-run — must take the
+// per-event path and still produce identical results with the flag on
+// or off (the flag is then inert, not merely harmless).
+TEST(Online, BatchGateDisablesUnderThrottleAndSecondFailure) {
+  auto run = [&](bool batch) {
+    auto acfg = cfg_for(layout::Architecture::mirror_with_parity(3, true), 8);
+    array::DiskArray arr(acfg);
+    arr.fail_physical(0);
+    OnlineConfig cfg;
+    cfg.arrival.max_requests = 200;
+    cfg.arrival.rate_hz = 60;
+    cfg.arrival.seed = 42;
+    cfg.qos.policy = workload::RebuildPolicy::kFixedBudget;
+    cfg.qos.rebuild_budget = 2;
+    cfg.second_failure_at_s = 1.0;
+    cfg.second_failure_disk = 3;
+    cfg.batch_drains = batch;
+    auto report = run_online_reconstruction(arr, cfg);
+    EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+    return report.is_ok() ? report.value() : OnlineReport{};
+  };
+  const OnlineReport a = run(true);
+  const OnlineReport b = run(false);
+  EXPECT_TRUE(a.second_failure_injected);
+  EXPECT_EQ(a.rebuild_done_s, b.rebuild_done_s);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.final_rebuild_budget, b.final_rebuild_budget);
+}
+
 }  // namespace
 }  // namespace sma::recon

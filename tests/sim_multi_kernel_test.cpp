@@ -1,0 +1,165 @@
+#include "sim/multi_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "array/disk_array.hpp"
+#include "layout/architecture.hpp"
+#include "recon/online.hpp"
+
+// Suite named MultiKernel.* so the CI TSan job's gtest filter picks the
+// whole file up: these tests are exactly the data-race surface the
+// parallel driver must keep clean.
+
+namespace sma {
+namespace {
+
+/// The bench harnesses' array shape (bench::experiment_config), reduced
+/// to test scale: the serial-vs-parallel comparisons below must cover
+/// the same code paths the drift-gated CSVs exercise.
+array::ArrayConfig test_config(const layout::Architecture& arch, int stacks) {
+  array::ArrayConfig cfg;
+  cfg.arch = arch;
+  cfg.stripes = stacks * arch.total_disks();
+  cfg.rotate = true;
+  cfg.spec = disk::DiskSpec::savvio_10k3();
+  cfg.content_bytes = 256;
+  cfg.logical_element_bytes = 4ull * 1000 * 1000;
+  cfg.seed = 20120901;
+  return cfg;
+}
+
+/// One bench_online_recon-shaped case: mirror(n), disk 0 failed, Poisson
+/// user reads during the rebuild. Everything the bench reports.
+recon::OnlineReport online_case(int n, bool shifted) {
+  array::DiskArray arr(
+      test_config(layout::Architecture::mirror(n, shifted), /*stacks=*/2));
+  arr.initialize();
+  arr.fail_physical(0);
+  recon::OnlineConfig cfg;
+  cfg.arrival.rate_hz = 30.0;
+  cfg.arrival.max_requests = 200;
+  cfg.arrival.seed = 2012;
+  auto report = recon::run_online_reconstruction(arr, cfg);
+  EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+  return report.is_ok() ? report.value() : recon::OnlineReport{};
+}
+
+/// One bench_qos_throttle-shaped case: adaptive throttle against a p99
+/// target while the rebuild drains.
+recon::OnlineReport qos_case(double arrival_hz) {
+  array::DiskArray arr(
+      test_config(layout::Architecture::mirror(5, true), /*stacks=*/2));
+  arr.initialize();
+  arr.fail_physical(0);
+  recon::OnlineConfig cfg;
+  cfg.arrival.rate_hz = arrival_hz;
+  cfg.arrival.max_requests = 200;
+  cfg.arrival.seed = 2012;
+  cfg.qos.policy = workload::RebuildPolicy::kAdaptive;
+  cfg.qos.p99_target_s = 0.120;
+  auto report = recon::run_online_reconstruction(arr, cfg);
+  EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+  return report.is_ok() ? report.value() : recon::OnlineReport{};
+}
+
+void expect_reports_identical(const recon::OnlineReport& a,
+                              const recon::OnlineReport& b) {
+  // EXPECT_EQ on doubles deliberately: the contract is bit-identical,
+  // not approximately equal.
+  EXPECT_EQ(a.rebuild_done_s, b.rebuild_done_s);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.degraded_reads, b.degraded_reads);
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
+  EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.slo_violations, b.slo_violations);
+  EXPECT_EQ(a.final_rebuild_budget, b.final_rebuild_budget);
+  EXPECT_EQ(a.throttle_adjustments, b.throttle_adjustments);
+}
+
+TEST(MultiKernel, OnlineReconSerialAndParallelBitIdentical) {
+  struct Case {
+    int n;
+    bool shifted;
+  };
+  const std::vector<Case> cases = {{3, false}, {3, true}, {5, false},
+                                   {5, true}};
+  auto run_all = [&](std::size_t threads) {
+    sim::MultiKernel kernel({threads});
+    return kernel.map(cases.size(), [&](std::size_t i) {
+      return online_case(cases[i].n, cases[i].shifted);
+    });
+  };
+  const auto serial = run_all(1);
+  const auto parallel = run_all(4);
+  ASSERT_EQ(serial.size(), cases.size());
+  ASSERT_EQ(parallel.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i)
+    expect_reports_identical(serial[i], parallel[i]);
+  // Sanity: the cases are genuinely different workloads.
+  EXPECT_NE(serial[0].rebuild_done_s, serial[3].rebuild_done_s);
+}
+
+TEST(MultiKernel, QosThrottleSerialAndParallelBitIdentical) {
+  const std::vector<double> arrivals = {20.0, 60.0, 120.0};
+  auto run_all = [&](std::size_t threads) {
+    sim::MultiKernel kernel({threads});
+    return kernel.map(arrivals.size(),
+                      [&](std::size_t i) { return qos_case(arrivals[i]); });
+  };
+  const auto serial = run_all(1);
+  const auto parallel = run_all(4);
+  for (std::size_t i = 0; i < arrivals.size(); ++i)
+    expect_reports_identical(serial[i], parallel[i]);
+}
+
+TEST(MultiKernel, MapCollectsResultsByIndex) {
+  sim::MultiKernel kernel({4});
+  const auto out =
+      kernel.map(64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(MultiKernel, RunStatusSurfacesFirstFailureByIndex) {
+  sim::MultiKernel kernel({4});
+  // Several cases fail; the reported status must be the lowest-index
+  // failure regardless of which worker finished first.
+  const Status st = kernel.run_status(32, [](std::size_t i) {
+    if (i == 7 || i == 21) return internal_error("case " + std::to_string(i));
+    return Status::ok();
+  });
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.to_string().find("case 7"), std::string::npos);
+
+  EXPECT_TRUE(kernel.run_status(8, [](std::size_t) { return Status::ok(); })
+                  .is_ok());
+}
+
+TEST(MultiKernel, StatsAccumulateAcrossRuns) {
+  sim::MultiKernel kernel({2});
+  kernel.map(5, [](std::size_t i) { return i; });
+  kernel.map(3, [](std::size_t i) { return i; });
+  EXPECT_EQ(kernel.stats().cases, 8u);
+  EXPECT_GE(kernel.stats().wall_s, 0.0);
+  EXPECT_EQ(kernel.options().threads, 2u);
+}
+
+TEST(MultiKernel, SingleThreadRunsInOrderOnCallerThread) {
+  sim::MultiKernel kernel({1});
+  std::vector<std::size_t> order;
+  kernel.map(16, [&](std::size_t i) {
+    order.push_back(i);  // safe: threads==1 runs on the caller, in order
+    return 0;
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace sma

@@ -27,6 +27,8 @@
 //                    | --mc-trials=T [--mttf-h=400] [--mttr-h=1]
 //                    [--enclosure-size=E] [--replenish-h=H]
 //   smactl update-penalty [--n=5]
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -49,6 +51,8 @@
 #include "recon/reliability.hpp"
 #include "recon/scrub.hpp"
 #include "repair/orchestrator.hpp"
+#include "sim/multi_kernel.hpp"
+#include "sim/simulation.hpp"
 #include "workload/arrival.hpp"
 #include "workload/degraded_read.hpp"
 #include "util/flags.hpp"
@@ -100,6 +104,12 @@ int usage(const char* error = nullptr) {
                "                 --enclosure-size=<e> --enclosure-factor=<x>\n"
                "                 --spares=<k> --replenish-h=<h>)\n"
                "  update-penalty  parity updates per data write, by code\n"
+               "  simbench      simulation-kernel throughput: timed online\n"
+               "                rebuild under a queue backend\n"
+               "                (--kernel=calendar|heap|legacy, default from\n"
+               "                 SMA_SIM_QUEUE; --batch=0|1 --threads=<k>\n"
+               "                 --cases=<c> --reps=<r> --stacks --rate\n"
+               "                 --requests --json)\n"
                "common flags: --n=<disks> --parity --traditional --seed=<s>\n");
   return 2;
 }
@@ -657,6 +667,161 @@ int cmd_three_mirror(const Flags& flags) {
   return 0;
 }
 
+int cmd_simbench(const Flags& flags) {
+  // Backend: --kernel wins; otherwise whatever SMA_SIM_QUEUE resolved
+  // to (default_queue_backend() reads the env on first use).
+  sim::QueueBackend backend = sim::default_queue_backend();
+  const std::string kernel = flags.get("kernel", "");
+  if (kernel == "calendar") backend = sim::QueueBackend::kCalendar;
+  else if (kernel == "heap") backend = sim::QueueBackend::kHeap;
+  else if (kernel == "legacy") backend = sim::QueueBackend::kLegacy;
+  else if (!kernel.empty())
+    return usage("--kernel must be calendar|heap|legacy");
+  sim::set_default_queue_backend(backend);
+  const char* backend_name = "legacy";
+  if (backend == sim::QueueBackend::kCalendar) backend_name = "calendar";
+  if (backend == sim::QueueBackend::kHeap) backend_name = "heap";
+
+  const bool batch = flags.get_bool("batch", true);
+  const int reps = flags.get_int("reps", 3);
+  const int threads = flags.get_int("threads", 1);
+  const int cases = flags.get_int("cases", 1);
+  const bool json = flags.get_bool("json", false);
+  if (reps < 1 || threads < 0 || cases < 1)
+    return usage("--reps/--cases must be >= 1, --threads >= 0");
+
+  auto base_cfg = array_cfg_from(flags);
+  base_cfg.stripes = flags.get_int("stacks", 64) * base_cfg.arch.total_disks();
+  const int fail = flags.get_int("fail", 0);
+  if (fail < 0 || fail >= base_cfg.arch.total_disks())
+    return usage("--fail out of range");
+  const double rate_hz = flags.get_double("rate", 30.0);
+  const int requests = flags.get_int("requests", 600);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+
+  struct CaseResult {
+    bool ok = false;
+    double rebuild_done_s = 0.0;
+    double p99_s = 0.0;
+    std::uint64_t ops = 0;       // disk reads + writes
+    std::uint64_t events = 0;    // seed-kernel event count for this case
+    std::uint64_t digest = 0;
+    std::string error;
+  };
+  // Each case is a pure function of its index (own array, own seeds) —
+  // the MultiKernel contract — so digests must agree across reps and
+  // thread counts. Arrays are built uninitialized: simbench times the
+  // kernel, not content generation.
+  auto run_case = [&](std::size_t i) {
+    array::ArrayConfig cfg = base_cfg;
+    cfg.seed = base_cfg.seed + i;
+    array::DiskArray arr(cfg);
+    arr.fail_physical(fail);
+    recon::OnlineConfig ocfg;
+    ocfg.arrival.rate_hz = rate_hz;
+    ocfg.arrival.max_requests = requests;
+    ocfg.arrival.seed = seed + i;
+    ocfg.batch_drains = batch;
+    CaseResult r;
+    auto report = recon::run_online_reconstruction(arr, ocfg);
+    if (!report.is_ok()) {
+      r.error = report.status().to_string();
+      return r;
+    }
+    const auto& rep = report.value();
+    for (int d = 0; d < arr.total_disks(); ++d) {
+      const auto& c = arr.physical(d).counters();
+      r.ops += c.reads + c.writes;
+    }
+    // One event per disk op + per arrival + rebuild kickoff + per-disk
+    // dispatch kicks: what the seed kernel schedules for this workload,
+    // so events/sec is comparable across backends and batch modes.
+    r.events = r.ops + rep.requests_issued + 1 +
+               static_cast<std::uint64_t>(arr.total_disks() - 1);
+    r.rebuild_done_s = rep.rebuild_done_s;
+    r.p99_s = rep.p99_latency_s;
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const void* p, std::size_t len) {
+      const auto* b = static_cast<const unsigned char*>(p);
+      for (std::size_t j = 0; j < len; ++j)
+        h = (h ^ b[j]) * 1099511628211ull;
+    };
+    mix(&rep.rebuild_done_s, sizeof rep.rebuild_done_s);
+    mix(&rep.mean_latency_s, sizeof rep.mean_latency_s);
+    mix(&rep.p99_latency_s, sizeof rep.p99_latency_s);
+    mix(&rep.degraded_reads, sizeof rep.degraded_reads);
+    mix(&r.ops, sizeof r.ops);
+    r.digest = h;
+    r.ok = true;
+    return r;
+  };
+
+  std::vector<CaseResult> best;
+  double best_wall = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::MultiKernel mk({static_cast<std::size_t>(threads)});
+    const auto start = std::chrono::steady_clock::now();
+    auto results = mk.map(static_cast<std::size_t>(cases), run_case);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok) {
+        std::fprintf(stderr, "simbench: case %zu: %s\n", i,
+                     results[i].error.c_str());
+        return 1;
+      }
+      if (rep > 0 && results[i].digest != best[i].digest) {
+        std::fprintf(stderr,
+                     "simbench: case %zu diverged across reps "
+                     "(%016llx vs %016llx)\n",
+                     i, static_cast<unsigned long long>(results[i].digest),
+                     static_cast<unsigned long long>(best[i].digest));
+        return 1;
+      }
+    }
+    if (rep == 0 || wall < best_wall) best_wall = wall;
+    if (rep == 0) best = std::move(results);
+  }
+
+  std::uint64_t events = 0;
+  double sim_s = 0.0;
+  std::uint64_t digest = 1469598103934665603ull;
+  for (const auto& r : best) {
+    events += r.events;
+    sim_s += r.rebuild_done_s;
+    digest = (digest ^ r.digest) * 1099511628211ull;
+  }
+  const double events_per_s = static_cast<double>(events) / best_wall;
+  const double sim_hours_per_s = sim_s / 3600.0 / best_wall;
+
+  if (json) {
+    std::printf(
+        "{\"kernel\": \"%s\", \"batch_drains\": %s, \"threads\": %d, "
+        "\"cases\": %d, \"reps\": %d, \"events\": %llu, \"wall_s\": %.6f, "
+        "\"events_per_s\": %.0f, \"sim_hours_per_s\": %.3f, "
+        "\"rebuild_done_s\": %.6f, \"p99_ms\": %.3f, "
+        "\"digest\": \"%016llx\", \"deterministic\": true}\n",
+        backend_name, batch ? "true" : "false", threads, cases, reps,
+        static_cast<unsigned long long>(events), best_wall, events_per_s,
+        sim_hours_per_s, best[0].rebuild_done_s, best[0].p99_s * 1e3,
+        static_cast<unsigned long long>(digest));
+  } else {
+    std::printf(
+        "simbench[%s%s]: %d case(s) x %d rep(s), threads=%d\n"
+        "  %llu events in %.2f ms best wall: %.2fM events/s, "
+        "%.1f sim-hours/s\n"
+        "  case 0: rebuild done at %.2f s, p99 %.1f ms; "
+        "digest %016llx; deterministic across reps\n",
+        backend_name, batch ? "+batch" : "", cases, reps, threads,
+        static_cast<unsigned long long>(events), best_wall * 1e3,
+        events_per_s / 1e6, sim_hours_per_s, best[0].rebuild_done_s,
+        best[0].p99_s * 1e3, static_cast<unsigned long long>(digest));
+  }
+  return 0;
+}
+
 int cmd_replay(const Flags& flags) {
   const std::string path = flags.get("file", "");
   if (path.empty()) return usage("replay needs --file=<trace>");
@@ -909,6 +1074,7 @@ int main(int argc, char** argv) {
   else if (cmd == "repair") rc = cmd_repair(flags);
   else if (cmd == "update-penalty") rc = cmd_update_penalty(flags);
   else if (cmd == "replay") rc = cmd_replay(flags);
+  else if (cmd == "simbench") rc = cmd_simbench(flags);
   else return usage(("unknown command: " + cmd).c_str());
 
   // Typed getters record malformed values as they are consumed; a typo
