@@ -1,0 +1,24 @@
+// FNV-1a digest mixing for fleet determinism contracts.
+//
+// Fleet runs prove serial-vs-parallel bit-identity by folding every
+// deterministic report field into one 64-bit digest; benches and tests
+// compare digests instead of diffing whole report trees. Doubles are
+// mixed by bit pattern, so "identical" means identical to the last ulp.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace sma::fleet {
+
+inline constexpr std::uint64_t kDigestSeed = 1469598103934665603ULL;
+
+inline std::uint64_t mix(std::uint64_t digest, std::uint64_t v) {
+  return (digest ^ v) * 1099511628211ULL;
+}
+
+inline std::uint64_t mix(std::uint64_t digest, double v) {
+  return mix(digest, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace sma::fleet

@@ -1,0 +1,99 @@
+// Volume-to-array placement for fleet-scale experiments.
+//
+// A fleet serves logical volumes, each split into fixed-size segments,
+// out of a pool of independent disk arrays. The placement tier decides
+// which array holds each segment — the fleet-level analogue of the
+// paper's element arrangement inside one array. Three policies:
+//
+//  * kRoundRobin  — the naive baseline: volume v lives entirely on
+//                   array v mod A. One rebuilding array degrades 100%
+//                   of every volume it hosts.
+//  * kRandom      — every segment lands on an independently uniform
+//                   array. Spread is unbounded: nearly every volume
+//                   touches a rebuilding array at fleet scale.
+//  * kDeclustered — volume v's segments rotate over the k-array group
+//                   {(v + j) mod A : j < k} (segment s -> (v + s mod k)
+//                   mod A). The shifted-diagonal structure bounds the
+//                   blast radius both ways: one array's rebuild
+//                   degrades exactly 1/k of any volume that touches
+//                   it, and the volumes it hosts spread their other
+//                   segments across >= k-1 distinct peer arrays.
+//
+// Placements are pure functions of the config (kRandom draws from the
+// seeded Rng only), so equal configs give identical maps — the fleet
+// determinism contract starts here.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sma::fleet {
+
+enum class PlacementPolicy : std::uint8_t {
+  kRoundRobin,
+  kRandom,
+  kDeclustered,
+};
+
+/// Stable lowercase name ("round_robin", "random", "declustered").
+const char* to_string(PlacementPolicy policy);
+/// Inverse of to_string; kInvalidArgument on unknown names.
+Result<PlacementPolicy> placement_policy_from(std::string_view name);
+
+struct PlacementConfig {
+  PlacementPolicy policy = PlacementPolicy::kDeclustered;
+  /// Arrays in the pool.
+  int arrays = 16;
+  /// Logical volumes placed over the pool.
+  int volumes = 64;
+  /// Segments per volume (the placement granularity).
+  int segments_per_volume = 8;
+  /// kDeclustered: arrays each volume spreads over (clamped to the
+  /// pool size; 1 reproduces round-robin's whole-volume placement).
+  int spread = 4;
+  /// kRandom only; the other policies are deterministic by shape.
+  std::uint64_t seed = 2012;
+};
+
+/// An immutable volume/segment -> array map plus its inverse views.
+class Placement {
+ public:
+  const PlacementConfig& config() const { return cfg_; }
+
+  /// Array holding segment `segment` of volume `volume`.
+  int array_of(int volume, int segment) const {
+    return map_[static_cast<std::size_t>(volume) *
+                    static_cast<std::size_t>(cfg_.segments_per_volume) +
+                static_cast<std::size_t>(segment)];
+  }
+  /// Distinct arrays volume `volume` touches, ascending.
+  const std::vector<int>& arrays_of(int volume) const {
+    return volume_arrays_[static_cast<std::size_t>(volume)];
+  }
+  /// Distinct volumes with at least one segment on `array`, ascending.
+  const std::vector<int>& volumes_on(int array) const {
+    return array_volumes_[static_cast<std::size_t>(array)];
+  }
+  /// Segments placed on `array` (the array's share of the fleet).
+  std::int64_t segments_on(int array) const {
+    return segment_count_[static_cast<std::size_t>(array)];
+  }
+
+ private:
+  friend Result<Placement> build_placement(const PlacementConfig& cfg);
+
+  PlacementConfig cfg_;
+  std::vector<int> map_;  // volume-major [volume][segment]
+  std::vector<std::vector<int>> volume_arrays_;
+  std::vector<std::vector<int>> array_volumes_;
+  std::vector<std::int64_t> segment_count_;
+};
+
+/// Build the map for `cfg`; kInvalidArgument on non-positive shapes or
+/// a declustered spread larger than the pool allows.
+Result<Placement> build_placement(const PlacementConfig& cfg);
+
+}  // namespace sma::fleet

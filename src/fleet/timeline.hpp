@@ -1,0 +1,73 @@
+// Fleet failure/repair timeline — concurrent-rebuild exposure over a
+// long horizon.
+//
+// The serving simulation (fleet.hpp) measures what a rebuild does to
+// request latency; this module measures how often rebuilds happen at
+// all, and how often they overlap. Every array runs the PR 5 lifetime
+// machinery in miniature: failures arrive as a memoryless per-disk
+// process, each failure drives a repair::Lifecycle (so transitions are
+// policed and flow to obs as typed kStateChange events), and a failure
+// landing mid-rebuild is fatal with the exact enumerated probability
+// from recon::count_fatal_sets — the paper's trade-off (the shifted
+// arrangement has n times more fatal second disks but an n-times
+// shorter window) carried to fleet scale.
+//
+// Determinism: each array forks its RNG from (seed, array index), so
+// the timeline is a pure function of the config regardless of event
+// interleaving.
+#pragma once
+
+#include <cstdint>
+
+#include "layout/architecture.hpp"
+#include "obs/observer.hpp"
+#include "util/status.hpp"
+
+namespace sma::fleet {
+
+struct TimelineConfig {
+  /// Arrays in the fleet, all sharing one architecture.
+  int arrays = 64;
+  /// Simulated horizon, hours.
+  double horizon_hours = 24.0 * 365.0;
+  /// Per-disk exponential MTTF, hours.
+  double disk_mttf_hours = 5.0e4;
+  /// Rebuild duration after a failure (and restore duration after a
+  /// data loss), hours. Measure it with the serving simulation and
+  /// scale to production capacity.
+  double repair_hours = 8.0;
+  std::uint64_t seed = 2012;
+  /// Borrowed observer: per-array lifecycle transitions, fleet
+  /// counters, and a "fleet.concurrent_rebuilds" timeline probe.
+  obs::Attach observer;
+};
+
+struct TimelineReport {
+  int arrays = 0;
+  double horizon_hours = 0.0;
+  /// Disk failures that landed within the horizon.
+  int failures = 0;
+  /// Repairs that completed within the horizon.
+  int repairs_completed = 0;
+  /// Failures that hit a fatal surviving disk mid-rebuild (enumerated
+  /// fatal fractions); the array restores from backup afterwards.
+  int data_loss_events = 0;
+  /// Arrays simultaneously holding an in-flight repair/restore,
+  /// integrated over the horizon.
+  int max_concurrent_rebuilds = 0;
+  double mean_concurrent_rebuilds = 0.0;
+  /// Fraction of the horizon with >= 1 (resp. >= 2) rebuilds running.
+  double frac_time_rebuilding = 0.0;
+  double frac_time_ge2 = 0.0;
+  /// Sum over arrays of hours spent with at least one disk down.
+  double array_hours_degraded = 0.0;
+  /// Lifecycle transitions recorded across all arrays.
+  std::uint64_t transitions = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Run the failure/repair process for `cfg.arrays` copies of `arch`.
+Result<TimelineReport> run_failure_timeline(const layout::Architecture& arch,
+                                            const TimelineConfig& cfg);
+
+}  // namespace sma::fleet

@@ -40,6 +40,7 @@ struct Request {
   int pieces_left = 0;
   bool degraded = false;
   bool is_write = false;
+  double latency = -1.0;  // set at completion (record_latencies)
 };
 
 /// Detach observation on every exit path: probes registered below
@@ -61,9 +62,9 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   if (!arch.is_mirror())
     return invalid_argument("online reconstruction models mirror kinds only");
   const auto initial_failed = arr.failed_physical();
-  if (initial_failed.size() != 1)
+  if (initial_failed.size() > 1)
     return invalid_argument(
-        "online reconstruction expects exactly one failed disk, got " +
+        "online reconstruction expects at most one failed disk, got " +
         std::to_string(initial_failed.size()));
   const workload::ArrivalConfig acfg = cfg.effective_arrival();
   const workload::MixConfig mcfg = cfg.effective_mix();
@@ -89,7 +90,8 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
           "second-failure injection needs fault tolerance 2 (mirror with "
           "parity)");
     if (cfg.second_failure_disk >= arr.total_disks() ||
-        cfg.second_failure_disk == initial_failed[0])
+        (!initial_failed.empty() &&
+         cfg.second_failure_disk == initial_failed[0]))
       return invalid_argument("invalid second failure disk");
   }
 
@@ -144,11 +146,13 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     sim.set_observer(ob);
     obs_guard.arr = &arr;
     obs_guard.metrics = metrics;
-    obs::TraceEvent ev;
-    ev.kind = obs::EventKind::kFailure;
-    ev.t_s = 0.0;
-    ev.disk = initial_failed[0];
-    ob->emit(ev);
+    if (!initial_failed.empty()) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kFailure;
+      ev.t_s = 0.0;
+      ev.disk = initial_failed[0];
+      ob->emit(ev);
+    }
     if (metrics != nullptr) {
       rebuild_bytes_served.assign(ndisks, 0.0);
       user_bytes_served.assign(ndisks, 0.0);
@@ -322,6 +326,7 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   // think-time re-arm of the issuing client.
   auto finish_request = [&](Request& rq) {
     const double latency = sim.now() - rq.arrival;
+    if (cfg.record_latencies) rq.latency = latency;
     ++report.requests_completed;
     if (rq.is_write) {
       write_latencies.add(latency);
@@ -821,6 +826,10 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
                                static_cast<double>(report.slo_violations) /
                                static_cast<double>(read_latencies.count());
   if (throttle.enabled()) report.final_rebuild_budget = throttle.budget();
+  if (cfg.record_latencies) {
+    report.latencies.reserve(requests.size());
+    for (const Request& rq : requests) report.latencies.push_back(rq.latency);
+  }
   return report;
 }
 

@@ -53,6 +53,12 @@ struct OnlineConfig {
   /// on the dead disk are rerouted or dropped onto surviving copies.
   double second_failure_at_s = -1.0;
   int second_failure_disk = -1;
+  /// Record every request's completion latency into
+  /// OnlineReport::latencies, indexed by issue order. Pure bookkeeping:
+  /// it draws no randomness and schedules no events, so the rest of the
+  /// report is bit-identical either way (held by test). The fleet layer
+  /// uses it to attribute latencies to logical volumes.
+  bool record_latencies = false;
   /// Batch idle-disk rebuild drains into one kernel event per run
   /// instead of one per element (SimDisk::submit_run_while). Applies
   /// only when nothing can interact with a run mid-flight — open-loop
@@ -154,11 +160,20 @@ struct OnlineReport {
   /// Lifecycle transitions observed (each also emitted as a typed
   /// kStateChange trace event when an observer is attached).
   int state_changes = 0;
+
+  /// Per-request completion latencies in issue order, recorded only
+  /// when OnlineConfig::record_latencies is set (empty otherwise).
+  /// A request that died without completing holds -1.
+  std::vector<double> latencies;
 };
 
 /// Run the on-line rebuild of `arr`'s failed physical disks (mirror
-/// architectures, single failure). Timing-only: contents are not
-/// modified; pair with recon::reconstruct for the byte-level rebuild.
+/// architectures, single failure) — or, with no failed disk, serve the
+/// workload against a healthy array (no rebuild work; rebuild_done_s
+/// stays 0 and final_state kHealthy). The healthy mode is what the
+/// fleet layer runs on every array that is not currently rebuilding.
+/// Timing-only: contents are not modified; pair with
+/// recon::reconstruct for the byte-level rebuild.
 Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
                                                const OnlineConfig& cfg = {});
 

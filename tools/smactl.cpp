@@ -35,6 +35,7 @@
 
 #include "core/trace.hpp"
 #include "core/volume.hpp"
+#include "fleet/fleet.hpp"
 #include "integrity/crash_workload.hpp"
 #include "integrity/resync.hpp"
 #include "obs/metrics.hpp"
@@ -110,6 +111,13 @@ int usage(const char* error = nullptr) {
                "                 SMA_SIM_QUEUE; --batch=0|1 --threads=<k>\n"
                "                 --cases=<c> --reps=<r> --stacks --rate\n"
                "                 --requests --json)\n"
+               "  fleet         many arrays behind a volume placement tier\n"
+               "                serving one aggregate stream (--arrays=<a>\n"
+               "                 --mix=shifted|traditional|alternating\n"
+               "                 --placement=round_robin|random|declustered\n"
+               "                 --volumes --segments --spread --failed=<f>\n"
+               "                 --requests --rate --threads --horizon-h\n"
+               "                 --mttf-h)\n"
                "common flags: --n=<disks> --parity --traditional --seed=<s>\n");
   return 2;
 }
@@ -1048,6 +1056,82 @@ int cmd_update_penalty(const Flags& flags) {
   return 0;
 }
 
+int cmd_fleet(const Flags& flags) {
+  fleet::FleetConfig cfg;
+  cfg.arrays = flags.get_int("arrays", 64);
+  cfg.n = flags.get_int("n", 4);
+  cfg.parity = flags.get_bool("parity", false);
+  cfg.stacks = flags.get_int("stacks", 16);
+  const std::string mix =
+      flags.get("mix", flags.get_bool("traditional", false) ? "traditional"
+                                                            : "shifted");
+  auto arrangement = fleet::arrangement_mix_from(mix);
+  if (!arrangement.is_ok())
+    return usage("--mix must be shifted|traditional|alternating");
+  cfg.arrangement = arrangement.value();
+  auto policy =
+      fleet::placement_policy_from(flags.get("placement", "declustered"));
+  if (!policy.is_ok())
+    return usage("--placement must be round_robin|random|declustered");
+  cfg.placement.policy = policy.value();
+  cfg.placement.volumes = flags.get_int("volumes", 4 * cfg.arrays);
+  cfg.placement.segments_per_volume = flags.get_int("segments", 8);
+  cfg.placement.spread = flags.get_int("spread", 4);
+  cfg.arrival.rate_hz = flags.get_double("rate", 20.0 * cfg.arrays);
+  cfg.arrival.max_requests = flags.get_int("requests", 50000);
+  cfg.failed_arrays = flags.get_int("failed", cfg.arrays / 16 + 1);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  cfg.threads = static_cast<std::size_t>(flags.get_int("threads", 4));
+  cfg.timeline.horizon_hours = flags.get_double("horizon-h", 24.0 * 365.0);
+  cfg.timeline.disk_mttf_hours = flags.get_double("mttf-h", 5.0e4);
+  const auto res = fleet::run_fleet(cfg);
+  if (!res.is_ok()) return usage(res.status().to_string().c_str());
+  const fleet::FleetReport& r = res.value();
+
+  std::printf("fleet: %d arrays of %s, %s placement (%d volumes x %d "
+              "segments, spread %d)\n",
+              r.arrays,
+              (cfg.parity ? layout::Architecture::mirror_with_parity(
+                                cfg.n, cfg.arrangement !=
+                                           fleet::ArrangementMix::kTraditional)
+                          : layout::Architecture::mirror(
+                                cfg.n, cfg.arrangement !=
+                                           fleet::ArrangementMix::kTraditional))
+                  .name()
+                  .c_str(),
+              fleet::to_string(cfg.placement.policy), cfg.placement.volumes,
+              cfg.placement.segments_per_volume, cfg.placement.spread);
+  std::printf("serving: %llu requests routed, %llu completed, %llu degraded "
+              "reads across %d rebuilding arrays\n",
+              static_cast<unsigned long long>(r.requests_routed),
+              static_cast<unsigned long long>(r.requests_completed),
+              static_cast<unsigned long long>(r.degraded_reads),
+              r.failed_arrays);
+  std::printf("latency: mean %.4f s  p99 %.4f s  p99.9 %.4f s  max %.4f s\n",
+              r.mean_latency_s, r.p99_latency_s, r.p999_latency_s,
+              r.max_latency_s);
+  std::printf("volumes: %.1f%% degraded; worst volume p99 %.4f s (vol %d); "
+              "worst degraded p99 %.4f s (vol %d)\n",
+              100.0 * r.degraded_volume_fraction, r.worst_volume_p99_s,
+              r.worst_volume, r.worst_degraded_volume_p99_s,
+              r.worst_degraded_volume);
+  std::printf("rebuild: mean %.2f s  max %.2f s -> timeline repair %.2f h\n",
+              r.mean_rebuild_s, r.max_rebuild_s,
+              r.mean_rebuild_s * cfg.repair_capacity_scale / 3600.0);
+  std::printf("timeline (%.0f h): %d failures, %d repairs, %d data losses; "
+              "mean %.3f concurrent rebuilds (max %d), >=2 rebuilding "
+              "%.2f%% of the time\n",
+              r.timeline.horizon_hours, r.timeline.failures,
+              r.timeline.repairs_completed, r.timeline.data_loss_events,
+              r.timeline.mean_concurrent_rebuilds,
+              r.timeline.max_concurrent_rebuilds,
+              100.0 * r.timeline.frac_time_ge2);
+  std::printf("fleet MTTDL %.0f h (%.2f years); digest %016llx\n",
+              r.fleet_mttdl_hours, r.fleet_mttdl_hours / (24 * 365.25),
+              static_cast<unsigned long long>(r.digest));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1075,6 +1159,7 @@ int main(int argc, char** argv) {
   else if (cmd == "update-penalty") rc = cmd_update_penalty(flags);
   else if (cmd == "replay") rc = cmd_replay(flags);
   else if (cmd == "simbench") rc = cmd_simbench(flags);
+  else if (cmd == "fleet") rc = cmd_fleet(flags);
   else return usage(("unknown command: " + cmd).c_str());
 
   // Typed getters record malformed values as they are consumed; a typo
