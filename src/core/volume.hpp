@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "array/disk_array.hpp"
@@ -29,6 +30,10 @@ struct VolumeConfig {
   bool with_parity = false;
   /// Use the paper's shifted arrangement (false = traditional RAID-1).
   bool shifted = true;
+  /// Layout-registry spec ("lrc:groups=2", "zigzag", ...). When
+  /// non-empty it overrides `shifted` and resolves through
+  /// layout::AlgorithmRegistry::global().
+  std::string arrangement;
   /// Stacks of stripes; each stack holds total_disks stripes so the
   /// rotation covers every logical-to-physical assignment.
   int stacks = 1;

@@ -43,12 +43,41 @@ struct ArrayOutcome {
   Status status = Status::ok();
 };
 
-layout::Architecture arch_for(const FleetConfig& cfg, int array) {
-  const bool shifted =
-      cfg.arrangement == ArrangementMix::kShifted ||
-      (cfg.arrangement == ArrangementMix::kAlternating && array % 2 == 0);
-  return cfg.parity ? layout::Architecture::mirror_with_parity(cfg.n, shifted)
-                    : layout::Architecture::mirror(cfg.n, shifted);
+/// The per-array architecture cycle: the explicit `layout` spec list
+/// when given, else the enum mix ([shifted], [traditional], or
+/// [shifted, traditional] — array a uses entry a % size, so the
+/// alternating mix keeps its even-arrays-shifted meaning).
+Result<std::vector<layout::Architecture>> resolve_layout_cycle(
+    const FleetConfig& cfg) {
+  std::vector<layout::Architecture> archs;
+  if (cfg.layout.empty()) {
+    const bool first_shifted = cfg.arrangement != ArrangementMix::kTraditional;
+    archs.push_back(cfg.parity
+                        ? layout::Architecture::mirror_with_parity(
+                              cfg.n, first_shifted)
+                        : layout::Architecture::mirror(cfg.n, first_shifted));
+    if (cfg.arrangement == ArrangementMix::kAlternating)
+      archs.push_back(cfg.parity ? layout::Architecture::mirror_with_parity(
+                                       cfg.n, false)
+                                 : layout::Architecture::mirror(cfg.n, false));
+    return archs;
+  }
+  std::string_view rest = cfg.layout;
+  while (true) {
+    const std::size_t comma = rest.find(',');
+    const std::string spec(rest.substr(0, comma));
+    if (spec.empty())
+      return invalid_argument("fleet layout list has an empty entry: '" +
+                              cfg.layout + "'");
+    auto arch = cfg.parity
+                    ? layout::Architecture::mirror_with_parity_named(cfg.n, spec)
+                    : layout::Architecture::mirror_named(cfg.n, spec);
+    if (!arch.is_ok()) return arch.status();
+    archs.push_back(std::move(arch).take());
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return archs;
 }
 
 }  // namespace
@@ -65,6 +94,13 @@ Result<FleetReport> run_fleet(const FleetConfig& cfg) {
         "belongs to per-array runs)");
   if (cfg.repair_capacity_scale <= 0.0)
     return invalid_argument("repair_capacity_scale must be > 0");
+
+  auto cycle = resolve_layout_cycle(cfg);
+  if (!cycle.is_ok()) return cycle.status();
+  const std::vector<layout::Architecture> archs = std::move(cycle).take();
+  auto arch_of = [&](int array) -> const layout::Architecture& {
+    return archs[static_cast<std::size_t>(array) % archs.size()];
+  };
 
   PlacementConfig pc = cfg.placement;
   pc.arrays = cfg.arrays;
@@ -125,7 +161,7 @@ Result<FleetReport> run_fleet(const FleetConfig& cfg) {
   std::vector<int> failed_disk_of(arrays, -1);
   for (int i = 0; i < cfg.failed_arrays; ++i) {
     const std::size_t a = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
-    const int disks = arch_for(cfg, static_cast<int>(a)).total_disks();
+    const int disks = arch_of(static_cast<int>(a)).total_disks();
     failed_disk_of[a] =
         static_cast<int>(fail_rng.next_below(static_cast<std::uint64_t>(disks)));
   }
@@ -141,7 +177,7 @@ Result<FleetReport> run_fleet(const FleetConfig& cfg) {
       kernel.map(arrays, [&](std::size_t a) -> ArrayOutcome {
         ArrayOutcome out;
         array::ArrayConfig acfg;
-        acfg.arch = arch_for(cfg, static_cast<int>(a));
+        acfg.arch = arch_of(static_cast<int>(a));
         acfg.stripes = cfg.stacks * acfg.arch.total_disks();
         acfg.content_bytes = 64;  // timing-only run; contents never read
         array::DiskArray arr(acfg);
@@ -261,31 +297,30 @@ Result<FleetReport> run_fleet(const FleetConfig& cfg) {
   mp.disk_mttf_hours = tc.disk_mttf_hours;
   mp.mttr_hours = tc.repair_hours;
   // Mixed fleets: independent arrays' data-loss rates add, so the fleet
-  // MTTDL is the harmonic composition of the per-arrangement MTTDLs
-  // (estimated once per arrangement, not once per array).
-  const int shifted_arrays =
-      cfg.arrangement == ArrangementMix::kShifted ? cfg.arrays
-      : cfg.arrangement == ArrangementMix::kTraditional
-          ? 0
-          : (cfg.arrays + 1) / 2;
+  // MTTDL is the harmonic composition of the per-layout MTTDLs
+  // (estimated once per cycle entry, not once per array).
   double loss_rate = 0.0;
-  if (shifted_arrays > 0) {
-    const double mttdl = recon::estimate_mttdl(arch_for(cfg, 0), mp).mttdl_hours;
-    if (mttdl > 0.0) loss_rate += static_cast<double>(shifted_arrays) / mttdl;
-  }
-  if (shifted_arrays < cfg.arrays) {
-    const double mttdl = recon::estimate_mttdl(arch_for(cfg, 1), mp).mttdl_hours;
-    if (mttdl > 0.0)
-      loss_rate += static_cast<double>(cfg.arrays - shifted_arrays) / mttdl;
+  for (std::size_t l = 0; l < archs.size(); ++l) {
+    const int count = cfg.arrays / static_cast<int>(archs.size()) +
+                      (static_cast<int>(l) <
+                               cfg.arrays % static_cast<int>(archs.size())
+                           ? 1
+                           : 0);
+    if (count == 0) continue;
+    const double mttdl = recon::estimate_mttdl(archs[l], mp).mttdl_hours;
+    if (mttdl > 0.0) loss_rate += static_cast<double>(count) / mttdl;
   }
   report.fleet_mttdl_hours = loss_rate > 0.0 ? 1.0 / loss_rate : 0.0;
 
   if (cfg.run_timeline) {
     // The timeline models one shared architecture; a mixed fleet uses
-    // the shifted one (its repair_hours already reflect the mixed mean).
+    // the first cycle entry (its repair_hours already reflect the mixed
+    // mean). The pre-registry enum path keeps its historical choice of
+    // a plain shifted mirror for non-traditional mixes.
     auto tl = run_failure_timeline(
-        cfg.arrangement == ArrangementMix::kTraditional
-            ? arch_for(cfg, 1)
+        !cfg.layout.empty() ? archs[0]
+        : cfg.arrangement == ArrangementMix::kTraditional
+            ? arch_of(1)
             : layout::Architecture::mirror(cfg.n, true),
         tc);
     if (!tl.is_ok()) return tl.status();

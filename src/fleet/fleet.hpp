@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fleet/placement.hpp"
@@ -38,6 +39,8 @@ namespace sma::fleet {
 
 /// Which element arrangement the fleet's arrays use. kAlternating
 /// builds a mixed fleet (even arrays shifted, odd traditional).
+/// Deprecated spelling kept one release: FleetConfig::layout accepts
+/// any registry spec list and supersedes this enum.
 enum class ArrangementMix : std::uint8_t {
   kShifted,
   kTraditional,
@@ -55,6 +58,11 @@ struct FleetConfig {
   /// Parity-protected mirrors (fault tolerance 2).
   bool parity = false;
   ArrangementMix arrangement = ArrangementMix::kShifted;
+  /// Comma-separated layout-registry specs cycled across arrays (array
+  /// a uses entry a % count): "zigzag", "shifted,traditional" (the old
+  /// alternating mix), "lrc:groups=2,shifted,zigzag", ... When
+  /// non-empty this supersedes `arrangement`.
+  std::string layout;
   /// Stripe stacks per array (each stack holds total_disks stripes).
   int stacks = 1;
   /// Volume-to-array map; `placement.arrays` is overwritten with

@@ -1,8 +1,10 @@
 #include "layout/architecture.hpp"
 
 #include <cassert>
+#include <utility>
 
 #include "ec/prime.hpp"
+#include "layout/registry.hpp"
 
 namespace sma::layout {
 
@@ -13,6 +15,7 @@ Architecture Architecture::mirror(int n, bool shifted) {
   a.n_ = n;
   a.rows_ = n;
   a.total_disks_ = 2 * n;
+  a.layout_spec_ = shifted ? "shifted" : "traditional";
   if (shifted)
     a.arrangement_ = std::make_shared<ShiftedArrangement>(n);
   else
@@ -24,6 +27,55 @@ Architecture Architecture::mirror_with_parity(int n, bool shifted) {
   Architecture a = mirror(n, shifted);
   a.kind_ = shifted ? ArchKind::kMirrorParityShifted
                     : ArchKind::kMirrorParityTraditional;
+  a.total_disks_ = 2 * n + 1;
+  return a;
+}
+
+Result<Architecture> Architecture::mirror_named(int n,
+                                                const std::string& layout) {
+  if (n < 1) return invalid_argument("mirror architecture needs n >= 1");
+  const auto& registry = AlgorithmRegistry::global();
+  auto spec = parse_layout_spec(layout);
+  if (!spec.is_ok()) return spec.status();
+  auto canonical = registry.canonical(spec.value().name);
+  if (!canonical.is_ok()) return canonical.status();
+  // The classic kinds keep their direct-class arrangements so every
+  // pre-registry name and result stays bit-identical.
+  if (spec.value().params.empty()) {
+    if (canonical.value() == "traditional") return mirror(n, false);
+    if (canonical.value() == "shifted") return mirror(n, true);
+  }
+  auto arr = registry.make(spec.value(), n);
+  if (!arr.is_ok()) return arr.status();
+  Architecture a;
+  a.kind_ = ArchKind::kMirrorCustom;
+  a.n_ = n;
+  a.rows_ = n;
+  a.total_disks_ = 2 * n;
+  a.layout_spec_ = layout;
+  a.arrangement_ = std::shared_ptr<const MirrorArrangement>(
+      std::move(arr).take());
+  return a;
+}
+
+Result<Architecture> Architecture::mirror_with_parity_named(
+    int n, const std::string& layout) {
+  auto base = mirror_named(n, layout);
+  if (!base.is_ok()) return base.status();
+  Architecture a = std::move(base).take();
+  if (a.kind_ == ArchKind::kMirrorCustom) {
+    const auto* reg =
+        dynamic_cast<const RegistryArrangement*>(a.arrangement_.get());
+    if (reg != nullptr && !reg->descriptor().supports_second_failure)
+      return failed_precondition("layout '" + a.arrangement_->name() +
+                                 "' does not support the second-failure "
+                                 "(mirror + parity) machinery");
+    a.kind_ = ArchKind::kMirrorParityCustom;
+  } else {
+    a.kind_ = a.kind_ == ArchKind::kMirrorShifted
+                  ? ArchKind::kMirrorParityShifted
+                  : ArchKind::kMirrorParityTraditional;
+  }
   a.total_disks_ = 2 * n + 1;
   return a;
 }
@@ -56,10 +108,12 @@ int Architecture::fault_tolerance() const {
   switch (kind_) {
     case ArchKind::kMirrorTraditional:
     case ArchKind::kMirrorShifted:
+    case ArchKind::kMirrorCustom:
     case ArchKind::kRaid5:
       return 1;
     case ArchKind::kMirrorParityTraditional:
     case ArchKind::kMirrorParityShifted:
+    case ArchKind::kMirrorParityCustom:
     case ArchKind::kRaid6:
       return 2;
   }
@@ -83,6 +137,7 @@ bool Architecture::is_shifted() const {
 bool Architecture::has_parity() const {
   return kind_ == ArchKind::kMirrorParityTraditional ||
          kind_ == ArchKind::kMirrorParityShifted ||
+         kind_ == ArchKind::kMirrorParityCustom ||
          kind_ == ArchKind::kRaid5 || kind_ == ArchKind::kRaid6;
 }
 
@@ -90,9 +145,11 @@ int Architecture::parity_disks() const {
   switch (kind_) {
     case ArchKind::kMirrorTraditional:
     case ArchKind::kMirrorShifted:
+    case ArchKind::kMirrorCustom:
       return 0;
     case ArchKind::kMirrorParityTraditional:
     case ArchKind::kMirrorParityShifted:
+    case ArchKind::kMirrorParityCustom:
     case ArchKind::kRaid5:
       return 1;
     case ArchKind::kRaid6:
@@ -107,6 +164,9 @@ std::string Architecture::name() const {
     case ArchKind::kMirrorShifted: return "mirror-shifted";
     case ArchKind::kMirrorParityTraditional: return "mirror-parity-traditional";
     case ArchKind::kMirrorParityShifted: return "mirror-parity-shifted";
+    case ArchKind::kMirrorCustom: return "mirror-" + arrangement_->name();
+    case ArchKind::kMirrorParityCustom:
+      return "mirror-parity-" + arrangement_->name();
     case ArchKind::kRaid5: return "raid5";
     case ArchKind::kRaid6: return "raid6-shortened";
   }

@@ -23,6 +23,12 @@ enum class ArchKind {
   kMirrorShifted,
   kMirrorParityTraditional,
   kMirrorParityShifted,
+  // Mirror organization whose arrangement came from the layout registry
+  // and is neither traditional nor shifted (lrc, pyramid, zigzag,
+  // iterated:k, ...). Same disk population and planner behaviour as the
+  // classic mirror kinds; only the element placement differs.
+  kMirrorCustom,
+  kMirrorParityCustom,
   kRaid5,
   kRaid6,
 };
@@ -37,6 +43,18 @@ class Architecture {
   /// Fault-tolerance-2 variant: adds one parity disk with
   /// c_j = XOR_i a(i, j) (paper Section V).
   static Architecture mirror_with_parity(int n, bool shifted);
+
+  /// Mirror built from a layout-registry spec ("shifted", "lrc:groups=2",
+  /// "iterated:3", ...). Resolves through AlgorithmRegistry::global();
+  /// traditional/shifted specs collapse to the classic kinds (so names
+  /// and downstream results stay bit-identical), anything else becomes
+  /// ArchKind::kMirrorCustom.
+  static Result<Architecture> mirror_named(int n, const std::string& layout);
+
+  /// Parity-protected variant of mirror_named. Refuses layouts whose
+  /// descriptor clears supports_second_failure.
+  static Result<Architecture> mirror_with_parity_named(
+      int n, const std::string& layout);
 
   /// Comparators from the paper's background section.
   static Architecture raid5(int n);
@@ -56,6 +74,11 @@ class Architecture {
   bool is_shifted() const;
   bool has_parity() const;
   int parity_disks() const;
+
+  /// Registry spec that (re)builds this architecture's arrangement —
+  /// "traditional"/"shifted" for the classic kinds, the originating
+  /// spec for custom ones. Empty for RAID-5/6.
+  const std::string& layout_spec() const { return layout_spec_; }
 
   /// Arrangement of the mirror array; nullptr for RAID-5/6.
   const MirrorArrangement* arrangement() const { return arrangement_.get(); }
@@ -82,6 +105,7 @@ class Architecture {
   int n_ = 0;
   int rows_ = 0;
   int total_disks_ = 0;
+  std::string layout_spec_;
   std::shared_ptr<const MirrorArrangement> arrangement_;
 };
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "layout/registry.hpp"
+
 namespace sma::layout {
 
 namespace {
@@ -14,15 +16,20 @@ int mod(int x, int m) {
 }  // namespace
 
 Pos MirrorArrangement::data_of(int mirror_disk, int mirror_row) const {
+  const auto partner = partner_of(mirror_disk, mirror_row);
+  return partner ? *partner : Pos{-1, -1};
+}
+
+std::optional<Pos> MirrorArrangement::partner_of(int mirror_disk,
+                                                 int mirror_row) const {
   const int size = n();
   for (int i = 0; i < size; ++i) {
     for (int j = 0; j < size; ++j) {
       const Pos p = mirror_of(i, j);
-      if (p.disk == mirror_disk && p.row == mirror_row) return {i, j};
+      if (p.disk == mirror_disk && p.row == mirror_row) return Pos{i, j};
     }
   }
-  assert(false && "mirror cell not produced by any data element");
-  return {-1, -1};
+  return std::nullopt;
 }
 
 bool MirrorArrangement::is_bijection() const {
@@ -142,11 +149,7 @@ ArrangementPtr make_iterated(int n, int iterations) {
 
 Result<ArrangementPtr> make_arrangement(const std::string& kind, int n) {
   if (n < 1) return invalid_argument("arrangement needs n >= 1");
-  if (kind == "traditional")
-    return ArrangementPtr(std::make_unique<TraditionalArrangement>(n));
-  if (kind == "shifted")
-    return ArrangementPtr(std::make_unique<ShiftedArrangement>(n));
-  return invalid_argument("unknown arrangement kind: " + kind);
+  return AlgorithmRegistry::global().make(kind, n);
 }
 
 namespace {

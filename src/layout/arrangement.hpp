@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,9 +39,15 @@ class MirrorArrangement {
   virtual Pos mirror_of(int data_disk, int data_row) const = 0;
 
   /// Inverse: which data element the mirror cell (disk, row) replicates.
-  /// Default implementation searches; subclasses override with closed
-  /// forms where available.
+  /// Default implementation searches via partner_of; subclasses override
+  /// with closed forms where available. Only valid on bijective
+  /// arrangements — for unvalidated maps use partner_of, which reports
+  /// the malformed case instead of handing back a sentinel.
   virtual Pos data_of(int mirror_disk, int mirror_row) const;
+
+  /// Inverse by exhaustive search, safe on malformed (non-bijective)
+  /// maps: nullopt when no data element maps to the mirror cell.
+  std::optional<Pos> partner_of(int mirror_disk, int mirror_row) const;
 
   /// True when mirror_of is a bijection on the n x n grid (sanity check
   /// used by tests and by IteratedArrangement construction).
@@ -105,7 +112,9 @@ ArrangementPtr apply_shift_transform(const MirrorArrangement& prev);
 /// the identity. iterations == 1 gives the shifted arrangement.
 ArrangementPtr make_iterated(int n, int iterations);
 
-/// Factory by name ("traditional" | "shifted").
+/// Factory by registry spec ("traditional", "shifted", "lrc:groups=2",
+/// "iterated:3", ...) — resolves through AlgorithmRegistry::global()
+/// (see layout/registry.hpp for the descriptor API).
 Result<ArrangementPtr> make_arrangement(const std::string& kind, int n);
 
 /// Closed form of the iterated transform. The transform acts linearly

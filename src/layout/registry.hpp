@@ -1,0 +1,183 @@
+// Layout-algorithm plugin registry — the descriptor API behind every
+// mirror element arrangement.
+//
+// The paper's shifted arrangement is one point in a whole family of
+// element placements. Instead of a subclass per family member (the
+// pre-registry shape), each layout is a small self-describing
+// descriptor in the style of raidixlab/insane_striping's
+// `struct insane_algorithm`:
+//
+//   * a `name` (the registry key — what `--arrangement=` resolves),
+//   * element/parity/spare counts describing one stripe,
+//   * a pure `map(config, logical) -> Pos` placement function,
+//   * an optional `configure(params)` hook validating parameters
+//     ("lrc:groups=2" style), and
+//   * capability flags: `supports_second_failure` (usable under the
+//     parity-protected double-failure machinery) and an optional
+//     `rebuild_read_set` (closed-form minimal read set for a failed
+//     data disk — layouts with rebuild locality, like LRC, enumerate
+//     it without scanning the map).
+//
+// Built-in descriptors: the four pre-registry arrangements
+// (traditional, shifted, table-backed iterated, and the iterated
+// transformation family in closed form) plus three exotic layouts from
+// the related-work line-up — an LRC-style local-group layout, a
+// pyramid/RAID-7-style two-level layout, and a zigzag rebuild-optimal
+// layout ("On Codes for Optimal Rebuilding Access"). Adding a layout
+// is <50 LoC: write the map (and ideally its inverse), register a
+// descriptor — see docs/LAYOUTS.md.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "layout/arrangement.hpp"
+#include "util/status.hpp"
+
+namespace sma::layout {
+
+/// Key=value parameters attached to a layout spec ("lrc:groups=2").
+using LayoutParams = std::map<std::string, std::string>;
+
+/// A parsed layout spec: "name[:key=value[,key=value]...]". A bare
+/// value ("iterated:3") binds to the descriptor's default_param.
+struct LayoutSpec {
+  std::string name;
+  LayoutParams params;
+};
+
+Result<LayoutSpec> parse_layout_spec(std::string_view spec);
+
+/// Validated per-instance configuration a descriptor's map runs
+/// against. `configure` fills the layout-specific fields from the raw
+/// params; `map` must be a pure function of (config, logical position).
+struct LayoutConfig {
+  int n = 0;           // data disks == rows per stripe
+  int groups = 1;      // lrc/pyramid: local groups (n % groups == 0)
+  int iterations = 1;  // iterated: applications of the Fig. 8 transform
+};
+
+struct LayoutDescriptor {
+  /// Registry key and `--arrangement=` spelling.
+  std::string name;
+  /// One-line description (shown by `smactl layouts`).
+  std::string summary;
+
+  // --- element/parity/spare counts (per stripe, in units of n) --------
+  /// Replicas stored per data element (mirror organizations: 1).
+  int replicas_per_element = 1;
+  /// Parity disks the layout itself brings (the mirror-with-parity
+  /// wrapper adds its own global parity column on top).
+  int parity_disks = 0;
+  /// Spare disks the layout reserves (none of the built-ins do; the
+  /// repair layer's spare pools are orthogonal).
+  int spare_disks = 0;
+  /// Smallest n the map is defined for.
+  int min_n = 1;
+
+  // --- capability flags -----------------------------------------------
+  /// Safe under the fault-tolerance-2 (mirror + parity) double-failure
+  /// planner and enumeration. All built-ins support it; a layout that
+  /// reserves cells or breaks the bijection contract must say no, and
+  /// Architecture::mirror_with_parity_named refuses to build it.
+  bool supports_second_failure = true;
+
+  // --- behaviour ------------------------------------------------------
+  /// Pure placement function: mirror-array position of the replica of
+  /// data element a(pos.disk, pos.row). Must be a bijection of the
+  /// n x n grid (enforced by AlgorithmRegistry::make).
+  std::function<Pos(const LayoutConfig&, Pos)> map;
+  /// Optional closed-form inverse of `map`; when absent lookups fall
+  /// back to MirrorArrangement::partner_of's grid search.
+  std::function<Pos(const LayoutConfig&, Pos)> inverse;
+  /// Optional parameter hook: validate/normalize `params` into `cfg`
+  /// (cfg.n is pre-filled). Specs with parameters are rejected when the
+  /// descriptor has no configure hook.
+  std::function<Status(const LayoutParams& params, LayoutConfig& cfg)>
+      configure;
+  /// Optional capability: closed-form minimal mirror-array read set for
+  /// rebuilding a failed data disk (one Pos per lost element). Layouts
+  /// with rebuild locality (LRC groups) enumerate it directly; when
+  /// absent, rebuild_reads() derives it from `map`.
+  std::function<std::vector<Pos>(const LayoutConfig&, int failed_data_disk)>
+      rebuild_read_set;
+  /// Display name for an instance ("iterated(3)"); defaults to `name`.
+  std::function<std::string(const LayoutConfig&)> display_name;
+  /// Key a bare spec value binds to ("iterated:3" == both spellings of
+  /// "iterated:iterations=3").
+  std::string default_param;
+};
+
+/// A MirrorArrangement backed by a registry descriptor.
+class RegistryArrangement final : public MirrorArrangement {
+ public:
+  RegistryArrangement(const LayoutDescriptor* desc, LayoutConfig cfg,
+                      std::string display);
+
+  std::string name() const override { return display_; }
+  int n() const override { return cfg_.n; }
+  Pos mirror_of(int data_disk, int data_row) const override;
+  Pos data_of(int mirror_disk, int mirror_row) const override;
+
+  const LayoutDescriptor& descriptor() const { return *desc_; }
+  const LayoutConfig& config() const { return cfg_; }
+
+ private:
+  const LayoutDescriptor* desc_;  // owned by the registry
+  LayoutConfig cfg_;
+  std::string display_;
+};
+
+class AlgorithmRegistry {
+ public:
+  /// The process-wide registry, populated with the built-in layouts
+  /// (and their pre-registry alias spellings) on first use.
+  static AlgorithmRegistry& global();
+
+  /// Empty registry for tests and experiments.
+  AlgorithmRegistry() = default;
+
+  /// kAlreadyExists when the name (or an alias) is taken;
+  /// kInvalidArgument when the descriptor is malformed (empty name, no
+  /// map).
+  Status add(LayoutDescriptor desc);
+  /// Alternative spelling for an existing layout ("mirror-shifted" ->
+  /// "shifted" — the pre-registry enum names, kept one release).
+  Status add_alias(const std::string& alias, const std::string& target);
+
+  /// Descriptor by name or alias; kNotFound with the known names when
+  /// unknown.
+  Result<const LayoutDescriptor*> find(std::string_view name) const;
+  /// Canonical name for a name or alias.
+  Result<std::string> canonical(std::string_view name) const;
+  /// Canonical layout names, registration order.
+  std::vector<std::string> names() const;
+
+  /// Resolve a spec ("lrc:groups=2"), run the configure hook, check the
+  /// map is a bijection of the n x n grid, and build the arrangement.
+  Result<ArrangementPtr> make(std::string_view spec, int n) const;
+  /// Same, from an already-parsed spec.
+  Result<ArrangementPtr> make(const LayoutSpec& spec, int n) const;
+
+ private:
+  std::vector<std::string> order_;                 // canonical names
+  std::map<std::string, LayoutDescriptor> descriptors_;
+  std::map<std::string, std::string> aliases_;     // alias -> canonical
+};
+
+/// The mirror-array element reads needed to rebuild failed data disk
+/// `failed_data_disk` of one stripe: the descriptor's closed-form
+/// rebuild_read_set when it has one, else derived from the map. The
+/// paper's read-access metric is the max per-disk count of this set.
+std::vector<Pos> rebuild_reads(const RegistryArrangement& arr,
+                               int failed_data_disk);
+
+/// Max per-disk read count of rebuild_reads — the per-stripe rebuild
+/// element reads the bench compares layouts by.
+int rebuild_read_accesses(const RegistryArrangement& arr,
+                          int failed_data_disk);
+
+}  // namespace sma::layout

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <set>
 
+#include "layout/registry.hpp"
+
 namespace sma::mm {
 
 namespace {
@@ -47,8 +49,33 @@ Result<MultiMirror> MultiMirror::create(const MultiMirrorConfig& cfg) {
   if (cfg.replica_arrays < 1)
     return invalid_argument("multi-mirror needs at least one replica array");
 
+  MultiMirrorConfig resolved = cfg;
+  std::shared_ptr<const layout::MirrorArrangement> custom;
+  if (!cfg.arrangement.empty()) {
+    const auto& registry = layout::AlgorithmRegistry::global();
+    auto spec = layout::parse_layout_spec(cfg.arrangement);
+    if (!spec.is_ok()) return spec.status();
+    auto canonical = registry.canonical(spec.value().name);
+    if (!canonical.is_ok()) return canonical.status();
+    if (spec.value().params.empty() && (canonical.value() == "traditional" ||
+                                        canonical.value() == "shifted")) {
+      resolved.shifted = canonical.value() == "shifted";
+    } else {
+      if (cfg.replica_arrays != 1)
+        return invalid_argument(
+            "layout '" + cfg.arrangement +
+            "' has no orthogonal-multiplier generalization; R >= 2 "
+            "multi-mirror supports only traditional/shifted");
+      auto arr = registry.make(spec.value(), cfg.n);
+      if (!arr.is_ok()) return arr.status();
+      custom = std::shared_ptr<const layout::MirrorArrangement>(
+          std::move(arr).take());
+      resolved.shifted = false;  // affine machinery unused
+    }
+  }
+
   std::vector<int> multipliers;
-  if (cfg.shifted) {
+  if (custom == nullptr && resolved.shifted) {
     if (cfg.n == 1) {
       multipliers.assign(static_cast<std::size_t>(cfg.replica_arrays), 0);
     } else {
@@ -64,13 +91,15 @@ Result<MultiMirror> MultiMirror::create(const MultiMirrorConfig& cfg) {
             " orthogonal shifted replica arrays");
     }
   }
-  return MultiMirror(cfg, std::move(multipliers));
+  return MultiMirror(std::move(resolved), std::move(multipliers),
+                     std::move(custom));
 }
 
 std::string MultiMirror::name() const {
-  return std::string(cfg_.shifted ? "shifted" : "traditional") + "-" +
-         std::to_string(cfg_.replica_arrays + 1) + "-mirror(n=" +
-         std::to_string(cfg_.n) + ")";
+  const std::string layout =
+      custom_ ? custom_->name() : (cfg_.shifted ? "shifted" : "traditional");
+  return layout + "-" + std::to_string(cfg_.replica_arrays + 1) +
+         "-mirror(n=" + std::to_string(cfg_.n) + ")";
 }
 
 int MultiMirror::multiplier(int array_r) const {
@@ -103,6 +132,10 @@ int MultiMirror::local_index(int disk) const {
 layout::Pos MultiMirror::replica_of(int array_r, int i, int j) const {
   assert(i >= 0 && i < cfg_.n);
   assert(j >= 0 && j < cfg_.n);
+  if (custom_) {
+    const layout::Pos p = custom_->mirror_of(i, j);
+    return {replica_disk(array_r, p.disk), p.row};
+  }
   if (!cfg_.shifted) return {replica_disk(array_r, i), j};
   const int c = multiplier(array_r);
   if (cfg_.n == 1) return {replica_disk(array_r, 0), 0};
@@ -112,6 +145,7 @@ layout::Pos MultiMirror::replica_of(int array_r, int i, int j) const {
 layout::Pos MultiMirror::source_of(int array_r, int local_disk, int row) const {
   assert(local_disk >= 0 && local_disk < cfg_.n);
   assert(row >= 0 && row < cfg_.n);
+  if (custom_) return custom_->data_of(local_disk, row);
   if (!cfg_.shifted) return {local_disk, row};
   if (cfg_.n == 1) return {0, 0};
   // Cell (d, w) of array r holds a(w, c^{-1} (d - w)).

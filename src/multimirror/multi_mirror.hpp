@@ -24,6 +24,7 @@
 // everywhere) is available via shifted = false.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,12 @@ struct MultiMirrorConfig {
   /// true: affine shifted arrangements with distinct multipliers;
   /// false: traditional identical copies.
   bool shifted = true;
+  /// Layout-registry spec ("lrc:groups=2", "zigzag", ...). When
+  /// non-empty it overrides `shifted`. "traditional"/"shifted" (and
+  /// their aliases) map onto the affine family at any R; other layouts
+  /// have no orthogonal-multiplier generalization and are accepted for
+  /// R = 1 only.
+  std::string arrangement;
 };
 
 /// One element read: (global disk, row) within a stripe.
@@ -122,12 +129,18 @@ class MultiMirror {
   std::vector<CaseRow> enumerate_double_failure_cases() const;
 
  private:
-  explicit MultiMirror(MultiMirrorConfig cfg, std::vector<int> multipliers)
-      : cfg_(cfg), multipliers_(std::move(multipliers)) {}
+  MultiMirror(MultiMirrorConfig cfg, std::vector<int> multipliers,
+              std::shared_ptr<const layout::MirrorArrangement> custom)
+      : cfg_(std::move(cfg)),
+        multipliers_(std::move(multipliers)),
+        custom_(std::move(custom)) {}
 
   MultiMirrorConfig cfg_;
   /// multipliers_[r-1] = c_r for replica array r (shifted mode).
   std::vector<int> multipliers_;
+  /// Registry-built arrangement for the single replica array (R = 1
+  /// with a non-affine layout); null for the affine family.
+  std::shared_ptr<const layout::MirrorArrangement> custom_;
 };
 
 }  // namespace sma::mm

@@ -48,7 +48,7 @@ Result<MmOnlineReport> run_online_reconstruction(MultiMirrorArray& arr,
     return invalid_argument("no failed disks to rebuild on-line");
   if (static_cast<int>(failed.size()) > layout.fault_tolerance())
     return unrecoverable("failures exceed the layout's tolerance");
-  const workload::ArrivalConfig acfg = cfg.effective_arrival();
+  const workload::ArrivalConfig& acfg = cfg.arrival;
   if (cfg.qos.rebuild_budget < 0 || cfg.qos.min_budget < 0)
     return invalid_argument("rebuild budgets must be non-negative");
   if (cfg.qos.policy == workload::RebuildPolicy::kAdaptive &&

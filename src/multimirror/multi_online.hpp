@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "multimirror/multi_array.hpp"
 #include "obs/observer.hpp"
@@ -34,22 +33,6 @@ struct MmOnlineConfig {
   /// arrivals, rebuild issue/complete, throttle decisions, and per-disk
   /// service spans.
   obs::Attach observer;
-
-  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
-  /// \deprecated Use arrival.rate_hz. Overrides when set.
-  std::optional<double> user_read_rate_hz;
-  /// \deprecated Use arrival.max_requests. Overrides when set.
-  std::optional<int> max_user_reads;
-  /// \deprecated Use arrival.seed. Overrides when set.
-  std::optional<std::uint64_t> seed;
-
-  workload::ArrivalConfig effective_arrival() const {
-    workload::ArrivalConfig a = arrival;
-    if (user_read_rate_hz) a.rate_hz = *user_read_rate_hz;
-    if (max_user_reads) a.max_requests = *max_user_reads;
-    if (seed) a.seed = *seed;
-    return a;
-  }
 };
 
 struct MmOnlineReport {

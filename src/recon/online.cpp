@@ -66,8 +66,8 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     return invalid_argument(
         "online reconstruction expects at most one failed disk, got " +
         std::to_string(initial_failed.size()));
-  const workload::ArrivalConfig acfg = cfg.effective_arrival();
-  const workload::MixConfig mcfg = cfg.effective_mix();
+  const workload::ArrivalConfig& acfg = cfg.arrival;
+  const workload::MixConfig& mcfg = cfg.mix;
   if (mcfg.write_fraction < 0 || mcfg.write_fraction > 1)
     return invalid_argument("write_fraction must lie in [0, 1]");
   if (cfg.qos.rebuild_budget < 0 || cfg.qos.min_budget < 0)

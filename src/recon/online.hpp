@@ -23,7 +23,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "array/disk_array.hpp"
 #include "repair/lifecycle.hpp"
@@ -78,30 +77,6 @@ struct OnlineConfig {
   /// "d<k>.rebuild_mbps", "d<k>.user_mbps", "d<k>.retries", plus
   /// "d<k>.rebuild_budget" when a throttling policy is active.
   obs::Attach observer;
-
-  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
-  /// \deprecated Use arrival.rate_hz. A value set here overrides it.
-  std::optional<double> user_read_rate_hz;
-  /// \deprecated Use arrival.max_requests. Overrides when set.
-  std::optional<int> max_user_reads;
-  /// \deprecated Use mix.write_fraction. Overrides when set.
-  std::optional<double> write_fraction;
-  /// \deprecated Use arrival.seed. Overrides when set.
-  std::optional<std::uint64_t> seed;
-
-  /// The arrival surface with the deprecated aliases folded in.
-  workload::ArrivalConfig effective_arrival() const {
-    workload::ArrivalConfig a = arrival;
-    if (user_read_rate_hz) a.rate_hz = *user_read_rate_hz;
-    if (max_user_reads) a.max_requests = *max_user_reads;
-    if (seed) a.seed = *seed;
-    return a;
-  }
-  workload::MixConfig effective_mix() const {
-    workload::MixConfig m = mix;
-    if (write_fraction) m.write_fraction = *write_fraction;
-    return m;
-  }
 };
 
 struct OnlineReport {

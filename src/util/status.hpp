@@ -25,6 +25,8 @@ enum class ErrorCode {
   kInternal,
   kIoError,           // disk I/O failed (fail-stop or transient error)
   kUnreadableSector,  // latent media error: this element cannot be read
+  kNotFound,          // lookup by name/key matched nothing
+  kAlreadyExists,     // registration would shadow an existing entry
 };
 
 /// Human-readable name of an ErrorCode ("OK", "InvalidArgument", ...).
@@ -39,6 +41,8 @@ constexpr std::string_view to_string(ErrorCode c) {
     case ErrorCode::kInternal: return "Internal";
     case ErrorCode::kIoError: return "IoError";
     case ErrorCode::kUnreadableSector: return "UnreadableSector";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
   }
   return "Unknown";
 }
@@ -97,6 +101,12 @@ inline Status io_error(std::string msg) {
 }
 inline Status unreadable_sector(std::string msg) {
   return Status(ErrorCode::kUnreadableSector, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status already_exists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
 }
 
 /// Value-or-error. Construct from a T for success or a Status for failure.

@@ -21,7 +21,7 @@ Result<DegradedReadReport> run_degraded_reads(array::DiskArray& arr,
   const auto failed = arr.failed_physical();
   if (failed.size() > 1)
     return invalid_argument("degraded read workload expects <= 1 failure");
-  const ArrivalConfig acfg = cfg.effective_arrival();
+  const ArrivalConfig& acfg = cfg.arrival;
   const int read_count = acfg.max_requests;
   if (read_count < 0) return invalid_argument("negative read count");
 

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "array/disk_array.hpp"
 #include "util/status.hpp"
@@ -25,19 +24,6 @@ struct DegradedReadConfig {
   /// obs::Attach for the uniform semantics): request arrivals +
   /// per-disk service spans.
   obs::Attach observer;
-
-  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
-  /// \deprecated Use arrival.max_requests. Overrides when set.
-  std::optional<int> read_count;
-  /// \deprecated Use arrival.seed. Overrides when set.
-  std::optional<std::uint64_t> seed;
-
-  ArrivalConfig effective_arrival() const {
-    ArrivalConfig a = arrival;
-    if (read_count) a.max_requests = *read_count;
-    if (seed) a.seed = *seed;
-    return a;
-  }
 };
 
 struct DegradedReadReport {
@@ -51,7 +37,7 @@ struct DegradedReadReport {
   double throughput_mbps() const;
 };
 
-/// Run `cfg.read_count` uniform random data-element reads against
+/// Run `cfg.arrival.max_requests` uniform random data-element reads against
 /// `arr` (mirror architectures; at most one failed disk, or none).
 /// Timing only.
 Result<DegradedReadReport> run_degraded_reads(array::DiskArray& arr,

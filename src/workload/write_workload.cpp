@@ -14,7 +14,7 @@ std::int64_t data_element_count(const array::DiskArray& arr) {
 
 std::vector<WriteRequest> generate_large_writes(
     const array::DiskArray& arr, const WriteWorkloadConfig& cfg) {
-  const ArrivalConfig acfg = cfg.effective_arrival();
+  const ArrivalConfig& acfg = cfg.arrival;
   assert(acfg.max_requests >= 0);
   const std::int64_t total = data_element_count(arr);
   const int stripe_elements = arr.arch().rows() * arr.arch().n();

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "array/disk_array.hpp"
@@ -29,19 +28,6 @@ struct WriteWorkloadConfig {
   /// arrival.max_requests (the request count) and arrival.seed are
   /// honored. Historical defaults: 1000 requests, seed 11.
   ArrivalConfig arrival = ArrivalConfig::with(1000, 11);
-
-  // --- deprecated aliases (kept one release; see docs/SERVING.md) -----
-  /// \deprecated Use arrival.max_requests. Overrides when set.
-  std::optional<int> request_count;
-  /// \deprecated Use arrival.seed. Overrides when set.
-  std::optional<std::uint64_t> seed;
-
-  ArrivalConfig effective_arrival() const {
-    ArrivalConfig a = arrival;
-    if (request_count) a.max_requests = *request_count;
-    if (seed) a.seed = *seed;
-    return a;
-  }
 };
 
 /// Total data elements addressable in `arr`.

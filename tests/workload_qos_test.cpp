@@ -280,37 +280,25 @@ TEST(QosDefaults, StrictAndUnlimitedFixedMatchDefaultRun) {
   EXPECT_EQ(f.value().final_rebuild_budget, -1);
 }
 
-// --- deprecated config aliases ----------------------------------------
+// --- composed config surface ------------------------------------------
 
-TEST(ConfigAliases, DeprecatedOnlineFieldsOverrideComposedArrival) {
-  recon::OnlineConfig modern;
-  modern.arrival.rate_hz = 33.0;
-  modern.arrival.max_requests = 90;
-  modern.arrival.seed = 17;
-  modern.mix.write_fraction = 0.0;
+// The PR 4 deprecated aliases (user_read_rate_hz, max_user_reads, ...)
+// are gone; the composed arrival/mix fields are the only spelling and
+// drive the run directly.
+TEST(ConfigSurface, ComposedArrivalFieldsDriveTheRun) {
+  recon::OnlineConfig cfg;
+  cfg.arrival.rate_hz = 33.0;
+  cfg.arrival.max_requests = 90;
+  cfg.arrival.seed = 17;
+  cfg.mix.write_fraction = 0.0;
 
-  recon::OnlineConfig legacy;  // composed fields left at defaults
-  legacy.user_read_rate_hz = 33.0;
-  legacy.max_user_reads = 90;
-  legacy.seed = 17;
-
-  const ArrivalConfig eff = legacy.effective_arrival();
-  EXPECT_DOUBLE_EQ(eff.rate_hz, 33.0);
-  EXPECT_EQ(eff.max_requests, 90);
-  EXPECT_EQ(eff.seed, 17u);
-
-  auto a = run_online(modern);
-  auto b = run_online(legacy);
+  auto a = run_online(cfg);
   ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value().requests_issued, 90u);
+
+  auto b = run_online(cfg);
   ASSERT_TRUE(b.is_ok());
   expect_reports_equal(a.value(), b.value());
-}
-
-TEST(ConfigAliases, WriteFractionAliasOverridesMix) {
-  recon::OnlineConfig legacy;
-  legacy.mix.write_fraction = 0.1;
-  legacy.write_fraction = 0.4;
-  EXPECT_DOUBLE_EQ(legacy.effective_mix().write_fraction, 0.4);
 }
 
 // --- issued vs completed accounting -----------------------------------

@@ -3,25 +3,43 @@
 // on-line rebuild and scrub simulations, and regenerate the analytic
 // tables, all without writing code.
 //
-//   smactl layout    --n=3 [--kind=shifted|traditional] [--iterations=K]
-//   smactl plan      --n=3 [--parity] [--traditional] --fail=0,6
-//   smactl rebuild   --n=5 [--parity] [--traditional] --fail=2 [--stacks=2]
-//   smactl online    --n=5 [--traditional] [--rate=30] [--reads=500]
-//   smactl qos       --n=5 [--traditional] [--policy=adaptive] [--p99-ms=120]
+// Every subcommand consumes one shared option table (common_from /
+// arch_from / array_cfg_from below) instead of re-parsing flags ad
+// hoc, so the layout spelling, seed, and observer flags mean the same
+// thing everywhere:
+//
+//   --n=<disks>            array order
+//   --parity               add the dedicated parity disk
+//   --arrangement=<spec>   layout registry spec: "shifted",
+//                          "traditional", "iterated:3", "lrc:groups=2",
+//                          "pyramid:groups=2", "zigzag", ... — see
+//                          `smactl layouts`. Deprecated aliases, kept
+//                          one release: --kind=<spec>, --traditional.
+//   --seed=<s>             RNG seed (per-command default)
+//   --stacks=<k>           stripes = stacks * total disks
+//   --jsonl=<f> --chrome=<f> --timeline-csv=<f> --interval=<s>
+//                          observer sinks (online / qos / trace)
+//
+//   smactl layouts
+//   smactl layout    --n=3 [--arrangement=shifted] [--iterations=K]
+//   smactl plan      --n=3 [--parity] --fail=0,6
+//   smactl rebuild   --n=5 [--parity] --fail=2 [--stacks=2]
+//   smactl online    --n=5 [--rate=30] [--reads=500]
+//   smactl qos       --n=5 [--policy=adaptive] [--p99-ms=120]
 //                    [--arrival=poisson|closed_loop|bursty|trace]
 //                    [--budget=B] [--trace-file=F] [--export-trace=F]
-//   smactl trace     --n=5 [--traditional] [--jsonl=F] [--chrome=F]
+//   smactl trace     --n=5 [--jsonl=F] [--chrome=F]
 //                    [--timeline-csv=F] [--interval=0.5]
 //   smactl scrub     --n=5 [--parity] [--errors=10] [--seed=1]
-//   smactl crash     --n=5 [--parity] [--traditional] [--requests=40]
+//   smactl crash     --n=5 [--parity] [--requests=40]
 //                    [--crash-after=K] [--region-stripes=2] [--quiesce=10]
 //                    [--full-resync] [--fail=d] [--soak=N] [--seed=1]
-//   smactl write     --n=5 [--parity] [--traditional] [--requests=1000]
+//   smactl write     --n=5 [--parity] [--requests=1000]
 //   smactl table1    [--n-min=3] [--n-max=7]
 //   smactl fig7      [--n-max=50]
-//   smactl three-mirror --n=5 [--traditional] --fail=0,8
-//   smactl degraded  --n=5 [--traditional] [--reads=2000] [--fail=0]
-//   smactl reliability --n=5 [--parity] [--traditional] [--mttr-h=1]
+//   smactl three-mirror --n=5 [--replicas=2] --fail=0,8
+//   smactl degraded  --n=5 [--reads=2000] [--fail=0]
+//   smactl reliability --n=5 [--parity] [--mttr-h=1]
 //   smactl repair    --n=5 [--parity] [--fail=0] [--policy=dedicated]
 //                    [--spares=1] [--interrupt-after=K] [--second-fail=1]
 //                    | --mc-trials=T [--mttf-h=400] [--mttr-h=1]
@@ -32,6 +50,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "core/trace.hpp"
 #include "core/volume.hpp"
@@ -42,6 +61,7 @@
 #include "obs/observer.hpp"
 #include "obs/trace_sink.hpp"
 #include "layout/properties.hpp"
+#include "layout/registry.hpp"
 #include "multimirror/multi_array.hpp"
 #include "recon/analytic.hpp"
 #include "ec/evenodd.hpp"
@@ -64,10 +84,11 @@ namespace {
 
 using namespace sma;
 
-int usage(const char* error = nullptr) {
+int usage_stream(std::FILE* out, const char* error) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
-  std::fprintf(stderr, "%s",
+  std::fprintf(out, "%s",
                "usage: smactl <command> [flags]\n"
+               "  layouts       list the registered layout algorithms\n"
                "  layout        render an arrangement and its properties\n"
                "  plan          reconstruction read plan for failed disks\n"
                "  rebuild       execute + verify a rebuild, report throughput\n"
@@ -99,7 +120,8 @@ int usage(const char* error = nullptr) {
                "  reliability   fatal failure sets + MTTDL estimate\n"
                "  repair        orchestrated rebuild through the lifecycle\n"
                "                state machine (--policy=none|dedicated|\n"
-               "                distributed --spares=<k> --interrupt-after=<s>\n"
+               "                distributed --spares=<k>\n"
+               "                --interrupt-after=<s>\n"
                "                --second-fail=<d>), or Monte-Carlo lifetimes\n"
                "                (--mc-trials=<t> --mttf-h --mttr-h\n"
                "                 --enclosure-size=<e> --enclosure-factor=<x>\n"
@@ -113,46 +135,168 @@ int usage(const char* error = nullptr) {
                "                 --requests --json)\n"
                "  fleet         many arrays behind a volume placement tier\n"
                "                serving one aggregate stream (--arrays=<a>\n"
-               "                 --mix=shifted|traditional|alternating\n"
+               "                 --layout=<spec[,spec]> cycled per array\n"
                "                 --placement=round_robin|random|declustered\n"
                "                 --volumes --segments --spread --failed=<f>\n"
                "                 --requests --rate --threads --horizon-h\n"
-               "                 --mttf-h)\n"
-               "common flags: --n=<disks> --parity --traditional --seed=<s>\n");
+               "                 --mttf-h; --mix=shifted|traditional|\n"
+               "                 alternating is a deprecated alias)\n"
+               "common flags: --n=<disks> --parity --arrangement=<spec>\n"
+               "              (see 'smactl layouts'; --kind=<spec> and\n"
+               "              --traditional are deprecated aliases)\n"
+               "              --seed=<s> --stacks=<k>\n"
+               "observer flags (online/qos/trace): --jsonl=<f> --chrome=<f>\n"
+               "              --timeline-csv=<f> --interval=<s>\n"
+               "exit codes: 0 success, 1 runtime failure, 2 usage error;\n"
+               "`smactl <command> --help` prints this text\n");
   return 2;
 }
 
-layout::Architecture arch_from(const Flags& flags) {
-  const int n = flags.get_int("n", 3);
-  const bool parity = flags.get_bool("parity", false);
-  const bool shifted = !flags.get_bool("traditional", false);
-  return parity ? layout::Architecture::mirror_with_parity(n, shifted)
-                : layout::Architecture::mirror(n, shifted);
+int usage(const char* error = nullptr) { return usage_stream(stderr, error); }
+
+// ---------------------------------------------------------------------------
+// Shared option table. One parse for the flags every subcommand keeps
+// re-reading: the array shape, the layout spelling, and the seed.
+// ---------------------------------------------------------------------------
+
+struct CommonDefaults {
+  int n = 3;
+  int seed = 1;
+  int stacks = 1;
+};
+
+struct CommonOptions {
+  int n = 3;
+  bool parity = false;
+  /// Layout registry spec, resolved through AlgorithmRegistry::global().
+  std::string arrangement = "shifted";
+  std::uint64_t seed = 1;
+  int stacks = 1;
+};
+
+CommonOptions common_from(const Flags& flags, const CommonDefaults& d = {}) {
+  CommonOptions c;
+  c.n = flags.get_int("n", d.n);
+  c.parity = flags.get_bool("parity", false);
+  if (flags.has("arrangement")) {
+    c.arrangement = flags.get("arrangement", "shifted");
+  } else if (flags.has("kind")) {
+    // Deprecated alias spelling, kept one release.
+    c.arrangement = flags.get("kind", "shifted");
+  } else if (flags.get_bool("traditional", false)) {
+    // Deprecated boolean spelling, kept one release.
+    c.arrangement = "traditional";
+  }
+  c.seed = static_cast<std::uint64_t>(flags.get_int("seed", d.seed));
+  c.stacks = flags.get_int("stacks", d.stacks);
+  return c;
 }
 
-array::ArrayConfig array_cfg_from(const Flags& flags) {
+Result<layout::Architecture> arch_from(const CommonOptions& c) {
+  return c.parity
+             ? layout::Architecture::mirror_with_parity_named(c.n,
+                                                              c.arrangement)
+             : layout::Architecture::mirror_named(c.n, c.arrangement);
+}
+
+Result<array::ArrayConfig> array_cfg_from(const Flags& flags,
+                                          const CommonDefaults& d = {}) {
+  const CommonOptions c = common_from(flags, d);
+  auto arch = arch_from(c);
+  if (!arch.is_ok()) return arch.status();
   array::ArrayConfig cfg;
-  cfg.arch = arch_from(flags);
-  cfg.stripes = flags.get_int("stacks", 1) * cfg.arch.total_disks();
+  cfg.arch = std::move(arch).take();
+  cfg.stripes = c.stacks * cfg.arch.total_disks();
   cfg.content_bytes =
       static_cast<std::size_t>(flags.get_int("content-bytes", 256));
   cfg.logical_element_bytes = static_cast<std::uint64_t>(
       flags.get_double("element-mb", 4.0) * 1'000'000);
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.seed = c.seed;
   return cfg;
 }
 
-int cmd_layout(const Flags& flags) {
-  const int n = flags.get_int("n", 3);
-  if (n < 1 || n > 12) return usage("--n must be in 1..12 for layout");
-  layout::ArrangementPtr arr;
-  if (flags.has("iterations")) {
-    arr = layout::make_iterated(n, flags.get_int("iterations", 1));
-  } else {
-    auto made = layout::make_arrangement(flags.get("kind", "shifted"), n);
-    if (!made.is_ok()) return usage(made.status().to_string().c_str());
-    arr = std::move(made).take();
+// Shared observer option table: --jsonl=<f> --chrome=<f>
+// --timeline-csv=<f> [--interval=<s>] attach trace/metrics sinks to
+// any simulating subcommand the same way; finish() writes the files.
+class ObserverScope {
+ public:
+  ObserverScope(const Flags& flags, bool force_trace, bool force_metrics,
+                double default_interval)
+      : jsonl_(flags.get("jsonl", "")),
+        chrome_(flags.get("chrome", "")),
+        timeline_csv_(flags.get("timeline-csv", "")) {
+    metrics_.set_sample_interval(
+        flags.get_double("interval", default_interval));
+    if (force_trace || !jsonl_.empty() || !chrome_.empty())
+      ob_.trace = &trace_;
+    if (force_metrics || !timeline_csv_.empty()) ob_.metrics = &metrics_;
   }
+
+  obs::Observer* attach() {
+    return (ob_.trace || ob_.metrics) ? &ob_ : nullptr;
+  }
+  obs::TraceSink& trace() { return trace_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Write whichever sink files were requested; 0 on success, 1 (with
+  /// the failure on stderr) otherwise.
+  int finish(const char* cmd) {
+    for (const auto& [path, chrome] :
+         {std::pair<std::string, bool>{jsonl_, false}, {chrome_, true}}) {
+      if (path.empty()) continue;
+      const Status st = chrome ? trace_.write_chrome_trace_file(path)
+                               : trace_.write_jsonl_file(path);
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "%s: %s\n", cmd, st.to_string().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    if (!timeline_csv_.empty()) {
+      if (!metrics_.write_timeline_csv(timeline_csv_)) {
+        std::fprintf(stderr, "%s: failed to write %s\n", cmd,
+                     timeline_csv_.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", timeline_csv_.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  std::string jsonl_;
+  std::string chrome_;
+  std::string timeline_csv_;
+  obs::TraceSink trace_;
+  obs::MetricsRegistry metrics_;
+  obs::Observer ob_;
+};
+
+int cmd_layouts(const Flags&) {
+  const auto& reg = layout::AlgorithmRegistry::global();
+  std::printf("%-12s %-12s %s\n", "name", "2nd-failure", "summary");
+  for (const auto& name : reg.names()) {
+    auto desc = reg.find(name);
+    if (!desc.is_ok()) continue;
+    std::printf("%-12s %-12s %s\n", name.c_str(),
+                desc.value()->supports_second_failure ? "yes" : "no",
+                desc.value()->summary.c_str());
+  }
+  return 0;
+}
+
+int cmd_layout(const Flags& flags) {
+  const CommonOptions c = common_from(flags);
+  if (c.n < 1 || c.n > 12) return usage("--n must be in 1..12 for layout");
+  std::string spec = c.arrangement;
+  // --iterations=K without an explicit layout spelling means the
+  // iterated family (the historical spelling of --arrangement=iterated:K).
+  if (flags.has("iterations") && !flags.has("arrangement") &&
+      !flags.has("kind"))
+    spec = "iterated:" + std::to_string(flags.get_int("iterations", 1));
+  auto made = layout::make_arrangement(spec, c.n);
+  if (!made.is_ok()) return usage(made.status().to_string().c_str());
+  const layout::ArrangementPtr arr = std::move(made).take();
   std::printf("%s\n", layout::render_arrays(*arr).c_str());
   std::printf("properties: %s\n",
               layout::evaluate_properties(*arr).to_string().c_str());
@@ -160,7 +304,9 @@ int cmd_layout(const Flags& flags) {
 }
 
 int cmd_plan(const Flags& flags) {
-  const auto arch = arch_from(flags);
+  auto archr = arch_from(common_from(flags));
+  if (!archr.is_ok()) return usage(archr.status().to_string().c_str());
+  const auto arch = std::move(archr).take();
   const auto failed = flags.get_int_list("fail");
   if (failed.empty()) return usage("plan needs --fail=<disk,[disk]>");
   auto plan = recon::plan_reconstruction(arch, failed);
@@ -183,7 +329,9 @@ int cmd_plan(const Flags& flags) {
 }
 
 int cmd_rebuild(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
+  auto cfgr = array_cfg_from(flags);
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   const auto failed = flags.get_int_list("fail");
   if (failed.empty()) return usage("rebuild needs --fail=<disk,[disk]>");
   array::DiskArray arr(cfg);
@@ -208,7 +356,9 @@ int cmd_rebuild(const Flags& flags) {
 }
 
 int cmd_faults(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
+  auto cfgr = array_cfg_from(flags);
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   cfg.fault.latent_error_rate = flags.get_double("latent", 0.01);
   cfg.fault.transient_read_error_p = flags.get_double("transient", 0.0);
   cfg.fault.transient_write_error_p = cfg.fault.transient_read_error_p;
@@ -246,15 +396,19 @@ int cmd_faults(const Flags& flags) {
 }
 
 int cmd_online(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
-  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  auto cfgr = array_cfg_from(flags, {/*n=*/3, /*seed=*/7, /*stacks=*/4});
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   array::DiskArray arr(cfg);
   arr.initialize();
   arr.fail_physical(flags.get_int("fail", 0));
+  ObserverScope scope(flags, /*force_trace=*/false, /*force_metrics=*/false,
+                      /*default_interval=*/0.5);
   recon::OnlineConfig ocfg;
   ocfg.arrival.rate_hz = flags.get_double("rate", 30.0);
   ocfg.arrival.max_requests = flags.get_int("reads", 500);
-  ocfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  ocfg.arrival.seed = cfg.seed;
+  ocfg.observer = scope.attach();
   auto report = recon::run_online_reconstruction(arr, ocfg);
   if (!report.is_ok()) {
     std::fprintf(stderr, "online: %s\n", report.status().to_string().c_str());
@@ -267,12 +421,13 @@ int cmd_online(const Flags& flags) {
               cfg.arch.name().c_str(), r.rebuild_done_s, r.user_reads,
               r.degraded_reads, r.mean_latency_s * 1e3, r.p50_latency_s * 1e3,
               r.p95_latency_s * 1e3, r.p99_latency_s * 1e3);
-  return 0;
+  return scope.finish("online");
 }
 
 int cmd_qos(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
-  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  auto cfgr = array_cfg_from(flags, {/*n=*/3, /*seed=*/7, /*stacks=*/4});
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   array::DiskArray arr(cfg);
   arr.initialize();
   arr.fail_physical(flags.get_int("fail", 0));
@@ -283,7 +438,7 @@ int cmd_qos(const Flags& flags) {
   ocfg.arrival.kind = kind.value();
   ocfg.arrival.rate_hz = flags.get_double("rate", 40.0);
   ocfg.arrival.max_requests = flags.get_int("reads", 500);
-  ocfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  ocfg.arrival.seed = cfg.seed;
   ocfg.arrival.clients = flags.get_int("clients", 4);
   ocfg.arrival.burst_rate_hz = flags.get_double("burst-rate", 200.0);
   if (kind.value() == workload::ArrivalKind::kTrace) {
@@ -304,10 +459,9 @@ int cmd_qos(const Flags& flags) {
   ocfg.qos.p99_target_s = flags.get_double("p99-ms", 120.0) / 1e3;
   ocfg.qos.control_interval_s = flags.get_double("interval", 0.25);
 
-  obs::TraceSink trace;
-  obs::Observer ob;
-  ob.trace = &trace;
-  ocfg.observer = &ob;
+  ObserverScope scope(flags, /*force_trace=*/true, /*force_metrics=*/false,
+                      /*default_interval=*/0.25);
+  ocfg.observer = scope.attach();
   auto report = recon::run_online_reconstruction(arr, ocfg);
   if (!report.is_ok()) {
     std::fprintf(stderr, "qos: %s\n", report.status().to_string().c_str());
@@ -329,10 +483,11 @@ int cmd_qos(const Flags& flags) {
                 ocfg.qos.p99_target_s * 1e3, r.slo_violations,
                 r.slo_violation_pct, r.final_rebuild_budget,
                 r.throttle_adjustments,
-                trace.count(obs::EventKind::kThrottle));
+                scope.trace().count(obs::EventKind::kThrottle));
   const std::string out = flags.get("export-trace", "");
   if (!out.empty()) {
-    const auto points = workload::arrival_trace_from_events(trace.events());
+    const auto points =
+        workload::arrival_trace_from_events(scope.trace().events());
     const Status st = workload::write_arrival_trace_csv(out, points);
     if (!st.is_ok()) {
       std::fprintf(stderr, "qos: %s\n", st.to_string().c_str());
@@ -341,28 +496,24 @@ int cmd_qos(const Flags& flags) {
     std::printf("wrote %zu arrival points to %s\n", points.size(),
                 out.c_str());
   }
-  return 0;
+  return scope.finish("qos");
 }
 
 int cmd_trace(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
-  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  auto cfgr = array_cfg_from(flags, {/*n=*/3, /*seed=*/7, /*stacks=*/4});
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   array::DiskArray arr(cfg);
   arr.initialize();
   arr.fail_physical(flags.get_int("fail", 0));
 
-  obs::TraceSink trace;
-  obs::MetricsRegistry metrics;
-  metrics.set_sample_interval(flags.get_double("interval", 0.5));
-  obs::Observer ob;
-  ob.trace = &trace;
-  ob.metrics = &metrics;
-
+  ObserverScope scope(flags, /*force_trace=*/true, /*force_metrics=*/true,
+                      /*default_interval=*/0.5);
   recon::OnlineConfig ocfg;
   ocfg.arrival.rate_hz = flags.get_double("rate", 30.0);
   ocfg.arrival.max_requests = flags.get_int("reads", 500);
-  ocfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
-  ocfg.observer = &ob;
+  ocfg.arrival.seed = cfg.seed;
+  ocfg.observer = scope.attach();
   auto report = recon::run_online_reconstruction(arr, ocfg);
   if (!report.is_ok()) {
     std::fprintf(stderr, "trace: %s\n", report.status().to_string().c_str());
@@ -373,38 +524,22 @@ int cmd_trace(const Flags& flags) {
               "(%zu service spans, %zu queue enters, %zu rebuild I/Os), "
               "%zu timeline samples x %zu columns\n",
               cfg.arch.name().c_str(), report.value().rebuild_done_s,
-              trace.size(), trace.count(obs::EventKind::kServiceStart),
-              trace.count(obs::EventKind::kQueueEnter),
-              trace.count(obs::EventKind::kRebuildIssue),
-              metrics.timeline().size(), metrics.columns().size());
-  for (const auto& [path, write] :
-       {std::pair<std::string, int>{flags.get("jsonl", ""), 0},
-        {flags.get("chrome", ""), 1}}) {
-    if (path.empty()) continue;
-    const Status st = write == 0 ? trace.write_jsonl_file(path)
-                                 : trace.write_chrome_trace_file(path);
-    if (!st.is_ok()) {
-      std::fprintf(stderr, "trace: %s\n", st.to_string().c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", path.c_str());
-  }
-  const std::string csv = flags.get("timeline-csv", "");
-  if (!csv.empty()) {
-    if (!metrics.write_timeline_csv(csv)) {
-      std::fprintf(stderr, "trace: failed to write %s\n", csv.c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", csv.c_str());
-  }
-  return 0;
+              scope.trace().size(),
+              scope.trace().count(obs::EventKind::kServiceStart),
+              scope.trace().count(obs::EventKind::kQueueEnter),
+              scope.trace().count(obs::EventKind::kRebuildIssue),
+              scope.metrics().timeline().size(),
+              scope.metrics().columns().size());
+  return scope.finish("trace");
 }
 
 int cmd_scrub(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
+  auto cfgr = array_cfg_from(flags);
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   array::DiskArray arr(cfg);
   arr.initialize();
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  Rng rng(cfg.seed);
   const int errors = flags.get_int("errors", 10);
   recon::inject_latent_errors(arr, rng, errors);
   auto report = recon::scrub(arr);
@@ -436,8 +571,9 @@ int cmd_scrub(const Flags& flags) {
 int crash_cycle(const Flags& flags, std::uint64_t seed,
                 std::int64_t crash_after, int fail_disk, bool full_resync,
                 bool verbose) {
-  auto cfg = array_cfg_from(flags);
-  cfg.stripes = flags.get_int("stacks", 2) * cfg.arch.total_disks();
+  auto cfgr = array_cfg_from(flags, {/*n=*/3, /*seed=*/1, /*stacks=*/2});
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   cfg.content_bytes = 64;
   cfg.seed = seed;
   cfg.drl_region_stripes = flags.get_int("region-stripes", 2);
@@ -546,7 +682,9 @@ int crash_cycle(const Flags& flags, std::uint64_t seed,
 }
 
 int cmd_crash(const Flags& flags) {
-  const auto arch = arch_from(flags);
+  auto archr = arch_from(common_from(flags));
+  if (!archr.is_ok()) return usage(archr.status().to_string().c_str());
+  const auto arch = std::move(archr).take();
   const int requests = flags.get_int("requests", 40);
   if (requests <= 0) return usage("--requests must be positive");
   const int writes_per_request = arch.has_parity() ? 3 : 2;
@@ -587,13 +725,14 @@ int cmd_crash(const Flags& flags) {
 }
 
 int cmd_write(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
-  cfg.stripes = flags.get_int("stacks", 4) * cfg.arch.total_disks();
+  auto cfgr = array_cfg_from(flags, {/*n=*/3, /*seed=*/777, /*stacks=*/4});
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   array::DiskArray arr(cfg);
   arr.initialize();
   workload::WriteWorkloadConfig wcfg;
   wcfg.arrival.max_requests = flags.get_int("requests", 1000);
-  wcfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 777));
+  wcfg.arrival.seed = cfg.seed;
   const auto reqs = workload::generate_large_writes(arr, wcfg);
   const auto report = workload::run_write_workload(arr, reqs);
   std::printf("%s: %d requests, %.0f MB payload in %.2f s -> %.1f MB/s "
@@ -611,7 +750,8 @@ int cmd_table1(const Flags& flags) {
   const int lo = flags.get_int("n-min", 3);
   const int hi = flags.get_int("n-max", 7);
   Table table("Table I");
-  table.set_header({"n", "class", "cases", "read accesses", "avg", "4n/(2n+1)"});
+  table.set_header(
+      {"n", "class", "cases", "read accesses", "avg", "4n/(2n+1)"});
   for (int n = lo; n <= hi; ++n) {
     const auto cases = recon::enumerate_double_failure_cases(
         layout::Architecture::mirror_with_parity(n, true));
@@ -641,10 +781,13 @@ int cmd_fig7(const Flags& flags) {
 }
 
 int cmd_three_mirror(const Flags& flags) {
+  const CommonOptions c =
+      common_from(flags, {/*n=*/5, /*seed=*/1, /*stacks=*/1});
   mm::MultiArrayConfig cfg;
-  cfg.layout.n = flags.get_int("n", 5);
+  cfg.layout.n = c.n;
   cfg.layout.replica_arrays = flags.get_int("replicas", 2);
-  cfg.layout.shifted = !flags.get_bool("traditional", false);
+  cfg.layout.shifted = c.arrangement != "traditional";
+  cfg.layout.arrangement = c.arrangement;
   cfg.content_bytes = 128;
   auto arrr = mm::MultiMirrorArray::create(cfg);
   if (!arrr.is_ok()) {
@@ -698,15 +841,15 @@ int cmd_simbench(const Flags& flags) {
   if (reps < 1 || threads < 0 || cases < 1)
     return usage("--reps/--cases must be >= 1, --threads >= 0");
 
-  auto base_cfg = array_cfg_from(flags);
-  base_cfg.stripes = flags.get_int("stacks", 64) * base_cfg.arch.total_disks();
+  auto cfgr = array_cfg_from(flags, {/*n=*/3, /*seed=*/2012, /*stacks=*/64});
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  const auto base_cfg = std::move(cfgr).take();
   const int fail = flags.get_int("fail", 0);
   if (fail < 0 || fail >= base_cfg.arch.total_disks())
     return usage("--fail out of range");
   const double rate_hz = flags.get_double("rate", 30.0);
   const int requests = flags.get_int("requests", 600);
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  const std::uint64_t seed = base_cfg.seed;
 
   struct CaseResult {
     bool ok = false;
@@ -843,11 +986,13 @@ int cmd_replay(const Flags& flags) {
     std::fprintf(stderr, "replay: %s\n", ops.status().to_string().c_str());
     return 1;
   }
+  const CommonOptions c = common_from(flags);
   core::VolumeConfig vcfg;
-  vcfg.n = flags.get_int("n", 3);
-  vcfg.with_parity = flags.get_bool("parity", false);
-  vcfg.shifted = !flags.get_bool("traditional", false);
-  vcfg.stacks = flags.get_int("stacks", 1);
+  vcfg.n = c.n;
+  vcfg.with_parity = c.parity;
+  vcfg.shifted = c.arrangement != "traditional";
+  vcfg.arrangement = c.arrangement;
+  vcfg.stacks = c.stacks;
   vcfg.content_bytes =
       static_cast<std::size_t>(flags.get_int("content-bytes", 4096));
   auto volume = core::MirroredVolume::create(vcfg);
@@ -874,14 +1019,15 @@ int cmd_replay(const Flags& flags) {
 }
 
 int cmd_degraded(const Flags& flags) {
-  auto cfg = array_cfg_from(flags);
-  cfg.stripes = flags.get_int("stacks", 2) * cfg.arch.total_disks();
+  auto cfgr = array_cfg_from(flags, {/*n=*/3, /*seed=*/13, /*stacks=*/2});
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   array::DiskArray arr(cfg);
   arr.initialize();
   arr.fail_physical(flags.get_int("fail", 0));
   workload::DegradedReadConfig dcfg;
   dcfg.arrival.max_requests = flags.get_int("reads", 2000);
-  dcfg.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
+  dcfg.arrival.seed = cfg.seed;
   auto report = workload::run_degraded_reads(arr, dcfg);
   if (!report.is_ok()) {
     std::fprintf(stderr, "degraded: %s\n",
@@ -898,7 +1044,9 @@ int cmd_degraded(const Flags& flags) {
 }
 
 int cmd_reliability(const Flags& flags) {
-  const auto arch = arch_from(flags);
+  auto archr = arch_from(common_from(flags));
+  if (!archr.is_ok()) return usage(archr.status().to_string().c_str());
+  const auto arch = std::move(archr).take();
   recon::MttdlParams params;
   params.disk_mttf_hours = flags.get_double("mttf-h", 1.0e6);
   params.mttr_hours = flags.get_double("mttr-h", 1.0);
@@ -912,7 +1060,10 @@ int cmd_reliability(const Flags& flags) {
 }
 
 int cmd_repair(const Flags& flags) {
-  const auto arch = arch_from(flags);
+  const CommonOptions c = common_from(flags);
+  auto archr = arch_from(c);
+  if (!archr.is_ok()) return usage(archr.status().to_string().c_str());
+  const auto arch = std::move(archr).take();
 
   // Monte-Carlo lifetime mode: replay whole failure/repair lifetimes
   // through the lifecycle state machine and print the estimate beside
@@ -923,7 +1074,7 @@ int cmd_repair(const Flags& flags) {
     params.disk_mttf_hours = flags.get_double("mttf-h", 1.0e6);
     params.mttr_hours = flags.get_double("mttr-h", 10.0);
     params.trials = mc_trials;
-    params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    params.seed = c.seed;
     params.spare_replenish_hours = flags.get_double("replenish-h", 0.0);
     const int spares = flags.get_int("spares", 0);
     if (spares > 0) {
@@ -969,7 +1120,9 @@ int cmd_repair(const Flags& flags) {
 
   // Orchestrated-rebuild mode: fail disks, drive the orchestrator to a
   // terminal state, print the lifecycle the array walked through.
-  auto cfg = array_cfg_from(flags);
+  auto cfgr = array_cfg_from(flags);
+  if (!cfgr.is_ok()) return usage(cfgr.status().to_string().c_str());
+  auto cfg = std::move(cfgr).take();
   repair::RepairConfig rc;
   const std::string policy = flags.get("policy", "none");
   const int spares = flags.get_int("spares", 1);
@@ -1057,18 +1210,30 @@ int cmd_update_penalty(const Flags& flags) {
 }
 
 int cmd_fleet(const Flags& flags) {
+  const CommonOptions c =
+      common_from(flags, {/*n=*/4, /*seed=*/2012, /*stacks=*/16});
   fleet::FleetConfig cfg;
   cfg.arrays = flags.get_int("arrays", 64);
-  cfg.n = flags.get_int("n", 4);
-  cfg.parity = flags.get_bool("parity", false);
-  cfg.stacks = flags.get_int("stacks", 16);
-  const std::string mix =
-      flags.get("mix", flags.get_bool("traditional", false) ? "traditional"
-                                                            : "shifted");
-  auto arrangement = fleet::arrangement_mix_from(mix);
-  if (!arrangement.is_ok())
-    return usage("--mix must be shifted|traditional|alternating");
-  cfg.arrangement = arrangement.value();
+  cfg.n = c.n;
+  cfg.parity = c.parity;
+  cfg.stacks = c.stacks;
+  // Layout resolution, newest spelling first: --layout=<spec[,spec]>
+  // (registry specs cycled across arrays), --arrangement=<spec> (one
+  // registry spec fleet-wide), then the deprecated enum spellings
+  // --mix=shifted|traditional|alternating / --traditional.
+  if (flags.has("layout")) {
+    cfg.layout = flags.get("layout", "");
+  } else if (flags.has("arrangement")) {
+    cfg.layout = c.arrangement;
+  } else {
+    const std::string mix =
+        flags.get("mix", flags.get_bool("traditional", false) ? "traditional"
+                                                              : "shifted");
+    auto arrangement = fleet::arrangement_mix_from(mix);
+    if (!arrangement.is_ok())
+      return usage("--mix must be shifted|traditional|alternating");
+    cfg.arrangement = arrangement.value();
+  }
   auto policy =
       fleet::placement_policy_from(flags.get("placement", "declustered"));
   if (!policy.is_ok())
@@ -1080,7 +1245,7 @@ int cmd_fleet(const Flags& flags) {
   cfg.arrival.rate_hz = flags.get_double("rate", 20.0 * cfg.arrays);
   cfg.arrival.max_requests = flags.get_int("requests", 50000);
   cfg.failed_arrays = flags.get_int("failed", cfg.arrays / 16 + 1);
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  cfg.seed = c.seed;
   cfg.threads = static_cast<std::size_t>(flags.get_int("threads", 4));
   cfg.timeline.horizon_hours = flags.get_double("horizon-h", 24.0 * 365.0);
   cfg.timeline.disk_mttf_hours = flags.get_double("mttf-h", 5.0e4);
@@ -1088,17 +1253,19 @@ int cmd_fleet(const Flags& flags) {
   if (!res.is_ok()) return usage(res.status().to_string().c_str());
   const fleet::FleetReport& r = res.value();
 
+  const std::string layout_desc =
+      !cfg.layout.empty()
+          ? cfg.layout
+          : (cfg.parity ? layout::Architecture::mirror_with_parity(
+                              cfg.n, cfg.arrangement !=
+                                         fleet::ArrangementMix::kTraditional)
+                        : layout::Architecture::mirror(
+                              cfg.n, cfg.arrangement !=
+                                         fleet::ArrangementMix::kTraditional))
+                .name();
   std::printf("fleet: %d arrays of %s, %s placement (%d volumes x %d "
               "segments, spread %d)\n",
-              r.arrays,
-              (cfg.parity ? layout::Architecture::mirror_with_parity(
-                                cfg.n, cfg.arrangement !=
-                                           fleet::ArrangementMix::kTraditional)
-                          : layout::Architecture::mirror(
-                                cfg.n, cfg.arrangement !=
-                                           fleet::ArrangementMix::kTraditional))
-                  .name()
-                  .c_str(),
+              r.arrays, layout_desc.c_str(),
               fleet::to_string(cfg.placement.policy), cfg.placement.volumes,
               cfg.placement.segments_per_volume, cfg.placement.spread);
   std::printf("serving: %llu requests routed, %llu completed, %llu degraded "
@@ -1136,11 +1303,19 @@ int cmd_fleet(const Flags& flags) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  // Uniform help: `smactl help`, `smactl --help`, and
+  // `smactl <command> --help` all print the usage text and exit 0.
+  if (flags.get_bool("help", false) ||
+      (!flags.positional().empty() && flags.positional()[0] == "help")) {
+    usage_stream(stdout, nullptr);
+    return 0;
+  }
   if (flags.positional().empty()) return usage();
   const std::string& cmd = flags.positional()[0];
 
   int rc;
-  if (cmd == "layout") rc = cmd_layout(flags);
+  if (cmd == "layouts") rc = cmd_layouts(flags);
+  else if (cmd == "layout") rc = cmd_layout(flags);
   else if (cmd == "plan") rc = cmd_plan(flags);
   else if (cmd == "rebuild") rc = cmd_rebuild(flags);
   else if (cmd == "online") rc = cmd_online(flags);
