@@ -57,6 +57,10 @@ DiskArray::DiskArray(ArrayConfig cfg)
   if (cfg_.drl_region_stripes > 0)
     drl_ = integrity::DirtyRegionLog(cfg_.stripes, cfg_.drl_region_stripes);
   if (cfg_.checksums) sums_ = integrity::ChecksumStore(physical_count(), slots);
+  backoff_base_ = cfg_.retry_backoff_base_s > 0.0 ? cfg_.retry_backoff_base_s
+                                                  : cfg_.retry_backoff_s;
+  retry_jitter_state_ = cfg_.seed ^ 0xa0761d6478bd642fULL;
+  splitmix64(retry_jitter_state_);
   // Only the array-wide profile arms a crash: a power loss takes out the
   // whole array, so a per-disk override cannot model it.
   crash_armed_ = cfg_.fault.crash_armed();
@@ -499,6 +503,19 @@ void DiskArray::lose_write(const Op& op) {
   if (hd.failed()) hd.clear_restored(sl);
 }
 
+double DiskArray::retry_delay(int attempt) {
+  const int exp = std::min(attempt - 1, 62);
+  double delay = backoff_base_ * static_cast<double>(1ULL << exp);
+  if (cfg_.retry_backoff_cap_s > 0.0)
+    delay = std::min(delay, cfg_.retry_backoff_cap_s);
+  if (cfg_.retry_backoff_jitter > 0.0) {
+    const double u =
+        static_cast<double>(splitmix64(retry_jitter_state_) >> 11) * 0x1.0p-53;
+    delay *= 1.0 - cfg_.retry_backoff_jitter * u;
+  }
+  return delay;
+}
+
 std::vector<int> DiskArray::failed_physical() const {
   std::vector<int> out;
   for (int d = 0; d < total_disks(); ++d)
@@ -584,11 +601,12 @@ BatchStats DiskArray::execute(std::span<const Op> ops, double start_time) {
       if (transient && attempts < cfg_.io_max_retries) {
         ++attempts;
         ++stats.retried_ops;
-        // Model the retry delay when configured: the re-submission waits
-        // retry_backoff_s per attempt after the failed attempt drains.
-        // The guard keeps the default (0) path bit-identical.
-        if (cfg_.retry_backoff_s > 0.0)
-          earliest = d.busy_until() + cfg_.retry_backoff_s * attempts;
+        // Model the retry delay when configured: the re-submission
+        // backs off (capped exponential, seeded jitter) after the
+        // failed attempt drains. The guard keeps the default (0) path
+        // bit-identical.
+        if (backoff_base_ > 0.0)
+          earliest = d.busy_until() + retry_delay(attempts);
         if (observer_ != nullptr) {
           obs::TraceEvent ev;
           ev.kind = obs::EventKind::kRetry;
@@ -693,8 +711,8 @@ BatchStats DiskArray::execute_batched(std::span<const Op> ops,
         if (transient && attempts < cfg_.io_max_retries) {
           ++attempts;
           ++stats.retried_ops;
-          if (cfg_.retry_backoff_s > 0.0)
-            earliest = d.busy_until() + cfg_.retry_backoff_s * attempts;
+          if (backoff_base_ > 0.0)
+            earliest = d.busy_until() + retry_delay(attempts);
           continue;
         }
         if (res.status().code() == ErrorCode::kUnreadableSector)

@@ -53,12 +53,24 @@ struct ArrayConfig {
   /// that hit a *transient* error is re-submitted (each retry pays full
   /// re-service time). Hard errors are never retried.
   int io_max_retries = 2;
-  /// Delay before a retry is re-submitted after a failed attempt
-  /// completes, growing linearly with the attempt number (first retry
-  /// waits 1x, second 2x, ...). The default 0 is inert: retries
-  /// re-submit immediately, reproducing the original timing bit for
-  /// bit.
+  /// Base delay of the capped-exponential retry backoff: attempt k's
+  /// re-submission waits min(base * 2^(k-1), retry_backoff_cap_s) after
+  /// the failed attempt drains, optionally shrunk by a deterministic
+  /// seeded jitter (below). The default 0 is inert: retries re-submit
+  /// immediately, reproducing the original timing bit for bit.
+  double retry_backoff_base_s = 0.0;
+  /// Deprecated alias for retry_backoff_base_s, kept one release: when
+  /// the base is 0 this field supplies it. The first two attempts of
+  /// the exponential schedule (1x, 2x — the whole default
+  /// io_max_retries budget) coincide with the historical linear
+  /// schedule, so existing configs keep their timing.
   double retry_backoff_s = 0.0;
+  /// Ceiling on a single retry delay (0 = uncapped).
+  double retry_backoff_cap_s = 0.0;
+  /// Jitter fraction in [0, 1): each delay is scaled by a factor drawn
+  /// deterministically in [1 - jitter, 1] from a SplitMix64 stream
+  /// seeded by ArrayConfig::seed, so equal seeds replay equal delays.
+  double retry_backoff_jitter = 0.0;
   /// Hot-spare disks appended after the architecture's disks (physical
   /// ids total_disks()..total_disks()+spare_disks-1). They hold no
   /// addressable elements; the repair orchestrator redirects
@@ -276,6 +288,15 @@ class DiskArray {
   double crash_time_ = 0.0;
   std::int64_t writes_seen_ = 0;
   Rng crash_rng_{0};
+
+  // Retry backoff: the resolved base (new field or deprecated alias)
+  // and the jitter stream's state (advanced once per jittered delay).
+  double backoff_base_ = 0.0;
+  std::uint64_t retry_jitter_state_ = 0;
+
+  /// Delay before attempt `attempt` (1-based retry number) re-submits:
+  /// capped exponential in the attempt, jittered when configured.
+  double retry_delay(int attempt);
 
   void init_mirror_stripe(int stripe);
   void init_raid_stripe(int stripe);

@@ -1,0 +1,275 @@
+#include "chaos/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace sma::chaos {
+
+const char* to_string(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kFailStop: return "fail";
+    case ChaosAction::kSecond: return "second";
+    case ChaosAction::kFailSlow: return "failslow";
+    case ChaosAction::kTransient: return "transient";
+    case ChaosAction::kLatent: return "latent";
+    case ChaosAction::kCrash: return "crash";
+    case ChaosAction::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* kCorruptionNames[] = {"bitrot", "lost", "misdirect"};
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const ChaosStep* Scenario::find(ChaosAction action) const {
+  for (const ChaosStep& s : steps)
+    if (s.action == action) return &s;
+  return nullptr;
+}
+
+std::string Scenario::spec() const {
+  std::string out;
+  for (const ChaosStep& s : steps) {
+    if (!out.empty()) out += ',';
+    out += to_string(s.action);
+    out += '@';
+    out += num(s.at_s);
+    switch (s.action) {
+      case ChaosAction::kFailStop:
+      case ChaosAction::kSecond:
+        out += ":d" + std::to_string(s.disk);
+        break;
+      case ChaosAction::kFailSlow:
+        out += ":d" + std::to_string(s.disk) + ":x" + num(s.magnitude);
+        break;
+      case ChaosAction::kTransient:
+        out += ":d" + std::to_string(s.disk) + ":p" + num(s.magnitude);
+        if (s.until_s >= 0.0) out += ":u" + num(s.until_s);
+        break;
+      case ChaosAction::kLatent:
+        out += ":d" + std::to_string(s.disk) + ":p" + num(s.magnitude);
+        break;
+      case ChaosAction::kCrash:
+        if (s.count >= 0) out += ":w" + std::to_string(s.count);
+        break;
+      case ChaosAction::kCorrupt:
+        out += ":n" + std::to_string(s.count) + ":";
+        out += kCorruptionNames[s.corruption_kind];
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Split `s` on `sep` (no empty-token suppression).
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_int(const std::string& s, int& out) {
+  double v = 0.0;
+  if (!parse_double(s, v)) return false;
+  out = static_cast<int>(v);
+  return static_cast<double>(out) == v;
+}
+
+}  // namespace
+
+Result<Scenario> parse_scenario(const std::string& spec, std::uint64_t seed) {
+  Scenario sc;
+  sc.seed = seed;
+  if (spec.empty()) return sc;
+  for (const std::string& token : split(spec, ',')) {
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos)
+      return invalid_argument("chaos step '" + token + "' is missing '@<t>'");
+    const std::string name = token.substr(0, at);
+    const std::vector<std::string> fields = split(token.substr(at + 1), ':');
+    ChaosStep step;
+    bool known = false;
+    for (const ChaosAction a :
+         {ChaosAction::kFailStop, ChaosAction::kSecond, ChaosAction::kFailSlow,
+          ChaosAction::kTransient, ChaosAction::kLatent, ChaosAction::kCrash,
+          ChaosAction::kCorrupt}) {
+      if (name == to_string(a)) {
+        step.action = a;
+        known = true;
+        break;
+      }
+    }
+    if (!known)
+      return invalid_argument("unknown chaos step '" + name + "' in '" +
+                              token + "'");
+    if (!parse_double(fields[0], step.at_s) || step.at_s < 0.0)
+      return invalid_argument("chaos step '" + token + "' has a bad time");
+    for (std::size_t f = 1; f < fields.size(); ++f) {
+      const std::string& field = fields[f];
+      if (field.empty())
+        return invalid_argument("chaos step '" + token +
+                                "' has an empty field");
+      const char key = field[0];
+      const std::string rest = field.substr(1);
+      bool ok = true;
+      switch (key) {
+        case 'd': ok = parse_int(rest, step.disk) && step.disk >= 0; break;
+        case 'x':
+        case 'p': ok = parse_double(rest, step.magnitude); break;
+        case 'u': ok = parse_double(rest, step.until_s); break;
+        case 'w':
+        case 'n': ok = parse_int(rest, step.count) && step.count >= 0; break;
+        default: {
+          // Corruption kind by name (kCorrupt only).
+          ok = false;
+          for (int k = 0; k < 3; ++k) {
+            if (field == kCorruptionNames[k]) {
+              step.corruption_kind = k;
+              ok = step.action == ChaosAction::kCorrupt;
+              break;
+            }
+          }
+          break;
+        }
+      }
+      if (!ok)
+        return invalid_argument("chaos step '" + token + "': bad field '" +
+                                field + "'");
+    }
+    // Per-action requirements.
+    switch (step.action) {
+      case ChaosAction::kFailStop:
+      case ChaosAction::kSecond:
+        if (step.disk < 0)
+          return invalid_argument("chaos step '" + token + "' needs :d<disk>");
+        break;
+      case ChaosAction::kFailSlow:
+        if (step.disk < 0 || step.magnitude <= 1.0)
+          return invalid_argument("chaos step '" + token +
+                                  "' needs :d<disk> and :x<factor> > 1");
+        break;
+      case ChaosAction::kTransient:
+      case ChaosAction::kLatent:
+        if (step.disk < 0 || step.magnitude <= 0.0 || step.magnitude >= 1.0)
+          return invalid_argument("chaos step '" + token +
+                                  "' needs :d<disk> and :p in (0, 1)");
+        break;
+      case ChaosAction::kCrash:
+        break;
+      case ChaosAction::kCorrupt:
+        if (step.count <= 0)
+          return invalid_argument("chaos step '" + token +
+                                  "' needs :n<count> > 0");
+        break;
+    }
+    sc.steps.push_back(step);
+  }
+  return sc;
+}
+
+Scenario compose_scenario(std::uint64_t seed, int disks) {
+  Scenario sc;
+  sc.seed = seed;
+  std::uint64_t state = seed ^ 0x9e3779b97f4a7c15ULL;
+  Rng rng(splitmix64(state));
+  const auto pick_disk = [&] {
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(disks)));
+  };
+  // Quantized draws keep spec() short and exactly round-trippable.
+  const auto tenths = [&](int lo_tenths, int hi_tenths) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi_tenths - lo_tenths + 1);
+    return 0.1 * static_cast<double>(
+                     lo_tenths + static_cast<int>(rng.next_below(span)));
+  };
+
+  const int primary = pick_disk();
+  sc.steps.push_back({ChaosAction::kFailStop, 0.0, primary});
+
+  if (rng.next_bool(0.5)) {
+    int slow = pick_disk();
+    if (slow == primary) slow = (slow + 1) % disks;
+    ChaosStep s{ChaosAction::kFailSlow, 0.0, slow};
+    s.magnitude = static_cast<double>(4 + rng.next_below(9));  // 4..12
+    sc.steps.push_back(s);
+  }
+  if (rng.next_bool(0.4)) {
+    int victim = pick_disk();
+    if (victim == primary) victim = (victim + 1) % disks;
+    ChaosStep s{ChaosAction::kTransient, tenths(0, 10), victim};
+    s.magnitude = tenths(1, 3);  // p in {0.1, 0.2, 0.3}
+    s.until_s = s.at_s + tenths(10, 30);
+    sc.steps.push_back(s);
+  }
+  if (rng.next_bool(0.4)) {
+    int second = pick_disk();
+    if (second == primary) second = (second + 1) % disks;
+    sc.steps.push_back({ChaosAction::kSecond, tenths(10, 30), second});
+  }
+  if (rng.next_bool(0.5)) {
+    ChaosStep s{ChaosAction::kCrash, 0.0};
+    s.count = 40 + static_cast<int>(rng.next_below(121));  // writes 40..160
+    sc.steps.push_back(s);
+  }
+  if (rng.next_bool(0.6)) {
+    ChaosStep s{ChaosAction::kCorrupt, 0.0};
+    s.count = 1 + static_cast<int>(rng.next_below(4));
+    s.corruption_kind = static_cast<int>(rng.next_below(3));
+    sc.steps.push_back(s);
+  }
+  if (rng.next_bool(0.3)) {
+    ChaosStep s{ChaosAction::kLatent, 0.0, pick_disk()};
+    s.magnitude = 0.01;
+    sc.steps.push_back(s);
+  }
+  return sc;
+}
+
+Scenario reference_scenario(int disks) {
+  Scenario sc;
+  sc.seed = 20120901;
+  sc.steps.push_back({ChaosAction::kFailStop, 0.0, 0});
+  // The limping disk is the failed disk's *traditional* mirror partner
+  // (data disk 0 mirrors wholesale onto disk n in the traditional
+  // arrangement): the traditional rebuild streams every element from
+  // the straggler, while the shifted arrangement sources from all
+  // surviving disks and meets it on only 1/n of the reads.
+  ChaosStep slow{ChaosAction::kFailSlow, 0.0, 4 % disks};
+  slow.magnitude = 8.0;
+  sc.steps.push_back(slow);
+  ChaosStep crash{ChaosAction::kCrash, 0.0};
+  crash.count = 96;
+  sc.steps.push_back(crash);
+  sc.steps.push_back({ChaosAction::kSecond, 1.5, 1 % disks});
+  return sc;
+}
+
+}  // namespace sma::chaos

@@ -1,0 +1,89 @@
+// Chaos scenarios: seeded, replayable compositions of the repo's fault
+// injectors into timed compound scripts.
+//
+// Every injector the stack already owns — fail-stop and second failures
+// (disk::FaultProfile::fail_at_s, OnlineConfig::second_failure_*),
+// fail-slow limping (slow_factor), bounded transient-error episodes,
+// latent unreadable sectors, whole-array power loss (crash_at_s /
+// crash_after_writes) and silent corruption
+// (integrity::inject_silent_corruption) — becomes one step kind here,
+// and a Scenario is a timed list of steps the chaos engine
+// (chaos/engine.hpp) drives through serving, crash/resync, scrub and
+// rebuild phases with the invariant oracle run after each.
+//
+// Determinism contract: a Scenario is a pure value. compose_scenario()
+// is a pure function of its seed, spec() prints a canonical string
+// grammar, and parse_scenario() round-trips it — so every violation the
+// oracle reports can name a (seed, spec) pair that replays the exact
+// run. See docs/CHAOS.md for the grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sma::chaos {
+
+enum class ChaosAction : std::uint8_t {
+  kFailStop = 0,  // "fail@T:dK"          disk K dies (primary failure)
+  kSecond,        // "second@T:dK"        second failure mid-rebuild
+  kFailSlow,      // "failslow@T:dK:xM"   disk K limps at M x service time
+  kTransient,     // "transient@T:dK:pP:uU"  transient-error window [T, U)
+  kLatent,        // "latent@T:dK:pP"     latent unreadable sectors, rate P
+  kCrash,         // "crash@T" / "crash@T:wN"  power loss (time / op index)
+  kCorrupt,       // "corrupt@T:nK:<kind>"  K silent corruptions
+};
+
+/// Stable lowercase step name, the head of each spec token.
+const char* to_string(ChaosAction action);
+
+struct ChaosStep {
+  ChaosAction action = ChaosAction::kFailStop;
+  /// Simulated seconds into the owning phase.
+  double at_s = 0.0;
+  /// Target physical disk; -1 where the action has no disk target.
+  int disk = -1;
+  /// slow_factor (kFailSlow), error probability (kTransient, kLatent).
+  double magnitude = 0.0;
+  /// Transient window end; < 0 = unbounded.
+  double until_s = -1.0;
+  /// kCrash: crash after this many writes (>= 0 overrides at_s);
+  /// kCorrupt: corruption count.
+  int count = -1;
+  /// kCorrupt: 0 bit rot, 1 lost write, 2 misdirected write (the
+  /// integrity::SilentCorruption order).
+  int corruption_kind = 0;
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;
+  std::vector<ChaosStep> steps;
+
+  /// Canonical spec string; parse_scenario(spec(), seed) reproduces the
+  /// scenario exactly.
+  std::string spec() const;
+  bool has(ChaosAction action) const { return find(action) != nullptr; }
+  /// First step of the given kind, nullptr when absent.
+  const ChaosStep* find(ChaosAction action) const;
+};
+
+/// Parse a comma-separated scenario spec ("fail@0:d0,failslow@0:d2:x8").
+/// Unknown step names, malformed fields and out-of-range values are
+/// kInvalidArgument with the offending token named.
+Result<Scenario> parse_scenario(const std::string& spec,
+                                std::uint64_t seed = 1);
+
+/// Draw a random compound scenario from the seed: always a primary
+/// fail-stop, plus an independent coin per extra ingredient (fail-slow,
+/// transient episode, second failure, crash, silent corruption, latent
+/// sectors) with quantized magnitudes. Pure function of (seed, disks).
+Scenario compose_scenario(std::uint64_t seed, int disks);
+
+/// The drift-gated reference compound: primary fail-stop + fail-slow
+/// peer + crash mid-rebuild + second failure. bench_chaos measures the
+/// arrangements' degraded p99 under exactly this scenario.
+Scenario reference_scenario(int disks);
+
+}  // namespace sma::chaos

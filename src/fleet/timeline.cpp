@@ -36,6 +36,11 @@ Result<TimelineReport> run_failure_timeline(const layout::Architecture& arch,
       cfg.repair_hours <= 0.0)
     return invalid_argument(
         "timeline horizon, disk MTTF and repair time must be positive");
+  if (cfg.domain_size < 0)
+    return invalid_argument("timeline domain_size must be >= 0");
+  if (cfg.domain_size > 0 && cfg.domain_hazard_factor < 1.0)
+    return invalid_argument(
+        "timeline domain_hazard_factor must be >= 1 with domains enabled");
 
   const int disks = arch.total_disks();
   obs::Observer* const ob = cfg.observer.get();
@@ -74,12 +79,43 @@ Result<TimelineReport> run_failure_timeline(const layout::Architecture& arch,
                              return static_cast<double>(active);
                            });
 
-  std::function<void(int)> schedule_failure = [&](int a) {
+  // Failure-domain stress: per-domain count of members holding an
+  // in-flight repair or restore. A stressed member's hazard is boosted,
+  // and every status flip redraws the pending failure draws of the
+  // domain's other members (in index order, each from its own RNG, so
+  // the timeline stays a pure function of the config).
+  const int dsize = cfg.domain_size;
+  const bool domains = dsize > 0 && cfg.domain_hazard_factor > 1.0;
+  std::vector<int> domain_active(
+      domains ? static_cast<std::size_t>((cfg.arrays + dsize - 1) / dsize)
+              : 0,
+      0);
+
+  std::function<void(int)> schedule_failure;
+  auto redraw_domain = [&](int a) {
+    if (!domains) return;
+    const int lo = (a / dsize) * dsize;
+    const int hi = std::min(cfg.arrays, lo + dsize);
+    for (int m = lo; m < hi; ++m) {
+      if (m == a) continue;
+      ArrayActor& other = actors[static_cast<std::size_t>(m)];
+      if (other.restoring) continue;  // offline: no pending draw
+      ++other.fail_epoch;
+      schedule_failure(m);
+    }
+  };
+
+  schedule_failure = [&](int a) {
     ArrayActor& actor = actors[static_cast<std::size_t>(a)];
     const int live = disks - static_cast<int>(actor.failed.size());
     if (live <= 0) return;
-    const double dt = actor.rng.next_exponential(cfg.disk_mttf_hours /
-                                                 static_cast<double>(live));
+    double mean = cfg.disk_mttf_hours / static_cast<double>(live);
+    if (domains) {
+      const int self = (actor.in_repair || actor.restoring) ? 1 : 0;
+      if (domain_active[static_cast<std::size_t>(a / dsize)] > self)
+        mean /= cfg.domain_hazard_factor;
+    }
+    const double dt = actor.rng.next_exponential(mean);
     const double when = sim.now() + dt;
     if (when > cfg.horizon_hours) return;
     const int epoch = actor.fail_epoch;
@@ -114,9 +150,14 @@ Result<TimelineReport> run_failure_timeline(const layout::Architecture& arch,
         report.transitions += act.lc->history().size();
         act.lc = std::make_unique<repair::Lifecycle>(arch, cfg.observer);
         act.failed.clear();
-        if (!act.in_repair) ++active;
+        const bool was_active = act.in_repair;
+        if (!was_active) ++active;
         act.in_repair = false;
         act.restoring = true;
+        if (domains && !was_active) {
+          ++domain_active[static_cast<std::size_t>(a / dsize)];
+          redraw_domain(a);
+        }
         ++act.fail_epoch;
         ++act.repair_epoch;
         const int repoch = act.repair_epoch;
@@ -128,6 +169,10 @@ Result<TimelineReport> run_failure_timeline(const layout::Architecture& arch,
             account_to(sim.now());
             ra.restoring = false;
             --active;
+            if (domains) {
+              --domain_active[static_cast<std::size_t>(a / dsize)];
+              redraw_domain(a);
+            }
             ++ra.fail_epoch;
             schedule_failure(a);
           });
@@ -142,6 +187,10 @@ Result<TimelineReport> run_failure_timeline(const layout::Architecture& arch,
         ++active;
         report.max_concurrent_rebuilds =
             std::max(report.max_concurrent_rebuilds, active);
+        if (domains) {
+          ++domain_active[static_cast<std::size_t>(a / dsize)];
+          redraw_domain(a);
+        }
       }
       // (Re)arm the rebuild: an additional failure mid-rebuild restarts
       // the clock (the executor replans the whole stripe set).
@@ -159,6 +208,10 @@ Result<TimelineReport> run_failure_timeline(const layout::Architecture& arch,
           ra.in_repair = false;
           --active;
           ++report.repairs_completed;
+          if (domains) {
+            --domain_active[static_cast<std::size_t>(a / dsize)];
+            redraw_domain(a);
+          }
           ++ra.fail_epoch;
           schedule_failure(a);
         });

@@ -37,6 +37,19 @@ struct TimelineConfig {
   /// scale to production capacity.
   double repair_hours = 8.0;
   std::uint64_t seed = 2012;
+  /// Correlated failure domains (enclosures / racks). Arrays
+  /// k*domain_size .. (k+1)*domain_size-1 share a domain, and a
+  /// member's per-disk failure hazard is multiplied by
+  /// domain_hazard_factor while any *other* member of its domain holds
+  /// an in-flight repair or restore — the
+  /// recon::MonteCarloParams::enclosure_hazard_factor correlation
+  /// carried from the MC estimator to the actual fleet timeline.
+  /// Pending failure draws are redrawn (memorylessness makes that
+  /// distribution-exact) whenever the domain's stress changes.
+  /// domain_size 0 (or factor 1) = independent arrays, bit-identical
+  /// to the pre-domain timeline.
+  int domain_size = 0;
+  double domain_hazard_factor = 1.0;
   /// Borrowed observer: per-array lifecycle transitions, fleet
   /// counters, and a "fleet.concurrent_rebuilds" timeline probe.
   obs::Attach observer;

@@ -31,6 +31,8 @@ constexpr struct {
     {EventKind::kCrash, "crash"},
     {EventKind::kResync, "resync"},
     {EventKind::kCorruption, "corruption"},
+    {EventKind::kFailSlow, "fail_slow"},
+    {EventKind::kHedge, "hedge"},
 };
 
 /// Shortest-exact double literal: %.17g round-trips every finite IEEE

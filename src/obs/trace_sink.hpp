@@ -50,6 +50,10 @@ enum class EventKind : std::uint8_t {
                      // (slot = region index)
   kCorruption,       // integrity check found divergent/corrupt content
                      // (scrub checksum mismatch, resync divergence)
+  kFailSlow,         // fail-slow detector flag flip (slot = 1 flagged,
+                     // 0 recovered; dur_s = the disk's latency EWMA)
+  kHedge,            // deadline-budgeted hedged read issued to the
+                     // partner copy (disk = the hedge target)
 };
 
 /// Stable lowercase name ("request_arrive", "service_start", ...).

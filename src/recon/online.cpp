@@ -27,6 +27,10 @@ struct Job {
   int row = -1;
   // Transient-error re-submissions consumed so far (bounded retry).
   int attempts = 0;
+  // Hedged-pair membership: index into the run's hedge groups (-1 =
+  // not hedged). The duplicate carries is_hedge; first completion wins.
+  int hedge_group = -1;
+  bool is_hedge = false;
 };
 
 struct DiskQueue {
@@ -78,6 +82,10 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     return invalid_argument(
         "adaptive throttle needs p99_target_s > 0, control_interval_s > 0 "
         "and raise_headroom in (0, 1]");
+  {
+    const Status hedge_ok = workload::validate_hedge(cfg.hedge);
+    if (!hedge_ok.is_ok()) return hedge_ok;
+  }
   auto proc_r = workload::make_arrival_process(acfg);
   if (!proc_r.is_ok()) return proc_r.status();
   const std::unique_ptr<workload::ArrivalProcess> proc =
@@ -99,6 +107,17 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   sim::Simulation sim;
   Rng rng(acfg.seed);
   workload::RebuildThrottle throttle(cfg.qos, arr.total_disks());
+  // Fail-slow detection + hedging (inert unless cfg.hedge.enabled: no
+  // flag is consulted and no deadline armed, so the default engine is
+  // bit-identical). The detector consumes no randomness.
+  const workload::HedgeConfig& hcfg = cfg.hedge;
+  const bool hedging = hcfg.enabled;
+  workload::FailSlowDetector fail_slow(hcfg, arr.total_disks());
+  struct HedgeGroup {
+    bool done = false;  // the piece has been accounted (first completion)
+  };
+  std::vector<HedgeGroup> hedge_groups;
+  int outstanding_hedges = 0;
   const double slo_target = cfg.qos.p99_target_s;
   // Foreground read latencies completed since the last control tick
   // (adaptive policy only).
@@ -130,9 +149,12 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   // drops rebuild queues array-wide when it lands. Per-disk fault
   // machinery (transients, latent sectors) is re-checked at each drain
   // via SimDisk::can_batch().
+  // Hedging also disables batching: a hedge deadline can preempt a
+  // queued piece mid-run.
   const double kNever = std::numeric_limits<double>::infinity();
   bool batching = cfg.batch_drains && !proc->closed_loop() &&
-                  !throttle.enabled() && ob == nullptr && !inject_second;
+                  !throttle.enabled() && ob == nullptr && !inject_second &&
+                  !hedging;
   for (std::size_t d = 0; batching && d < ndisks; ++d)
     if (arr.physical(static_cast<int>(d)).fail_stop_armed()) batching = false;
   // When the next user request arrives — the preemption horizon that
@@ -308,6 +330,23 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   std::function<void()> arrive;                // defined below
   std::function<void(int)> handle_disk_death;  // defined below dispatch
   std::function<void(int)> dispatch;           // defined below
+  std::function<void(int, Job)> enqueue_user;  // defined below dispatch
+
+  // Record a detector flag flip: report accounting plus a typed
+  // kFailSlow event when an observer is attached.
+  auto note_flip = [&](int disk, int flip) {
+    if (flip == 0) return;
+    if (flip > 0) ++report.fail_slow_flagged;
+    if (ob != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kFailSlow;
+      ev.t_s = sim.now();
+      ev.disk = disk;
+      ev.slot = flip > 0 ? 1 : 0;
+      ev.dur_s = fail_slow.ewma(disk);
+      ob->emit(ev);
+    }
+  };
 
   // A throttled rebuild job may be waiting on an idle disk for budget;
   // whenever budget frees up or rises, hand it out. No-op (and never
@@ -345,6 +384,18 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
   // its request finish. `disk` is the serving disk (trace labeling only).
   auto complete_job = [&](const Job& job, int disk) {
     if (job.request_id >= 0) {
+      if (job.hedge_group >= 0) {
+        // First completion of a hedged pair wins; the loser's service
+        // was wasted and must not decrement the request again.
+        HedgeGroup& g =
+            hedge_groups[static_cast<std::size_t>(job.hedge_group)];
+        if (g.done) {
+          ++report.hedge_wasted;
+          return;
+        }
+        g.done = true;
+        if (job.is_hedge) ++report.hedge_wins;
+      }
       Request& rq = requests[static_cast<std::size_t>(job.request_id)];
       if (--rq.pieces_left == 0) finish_request(rq);
     } else {
@@ -520,6 +571,9 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
       });
       return;
     }
+    // Feed the fail-slow detector the observed service duration (the
+    // disk was idle at dispatch, so completion - now is exactly it).
+    if (hedging) note_flip(disk, fail_slow.observe(disk, res.value() - sim.now()));
     sim.schedule_at(res.value(), [&, disk, job] {
       queues[static_cast<std::size_t>(disk)].busy = false;
       if (metrics != nullptr) {
@@ -534,7 +588,61 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     });
   };
 
-  auto enqueue_user = [&](int phys, const Job& job) {
+  enqueue_user = [&](int phys, Job job) {
+    // Hedged reads: a user read piece queued to a flagged disk arms a
+    // deadline; if the piece is still incomplete when it expires, a
+    // duplicate is issued to the partner copy and the first completion
+    // wins. Parity-path pieces (serving disk is neither the data copy
+    // nor the replica) and writes are never hedged.
+    if (hedging && hcfg.hedge_reads && job.request_id >= 0 &&
+        job.kind == disk::IoKind::kRead && !job.is_hedge &&
+        job.hedge_group < 0 && job.data_disk >= 0 && fail_slow.slow(phys) &&
+        outstanding_hedges < hcfg.max_outstanding_hedges) {
+      const int data_phys =
+          arr.physical_disk(arch.data_disk(job.data_disk), job.stripe);
+      const layout::Pos rep = arch.replica_of(job.data_disk, job.row);
+      const int rep_phys = arr.physical_disk(rep.disk, job.stripe);
+      int alt = -1;
+      std::int64_t alt_slot = -1;
+      if (phys == data_phys) {
+        alt = rep_phys;
+        alt_slot = arr.slot(job.stripe, rep.row);
+      } else if (phys == rep_phys) {
+        alt = data_phys;
+        alt_slot = arr.slot(job.stripe, job.row);
+      }
+      const double median = fail_slow.peer_median(phys);
+      if (alt >= 0 && alt != phys && median > 0.0 &&
+          !arr.physical(alt).failed() && !fail_slow.slow(alt)) {
+        const int g = static_cast<int>(hedge_groups.size());
+        hedge_groups.push_back({});
+        job.hedge_group = g;
+        Job dup = job;
+        dup.slot = alt_slot;
+        dup.is_hedge = true;
+        dup.attempts = 0;
+        ++outstanding_hedges;
+        sim.schedule_in(hcfg.hedge_deadline_factor * median,
+                        [&, dup, alt, g] {
+                          --outstanding_hedges;
+                          if (hedge_groups[static_cast<std::size_t>(g)].done)
+                            return;
+                          if (arr.physical(alt).failed()) return;
+                          ++report.hedged_reads;
+                          if (ob != nullptr) {
+                            obs::TraceEvent ev;
+                            ev.kind = obs::EventKind::kHedge;
+                            ev.t_s = sim.now();
+                            ev.disk = alt;
+                            ev.slot = dup.slot;
+                            ev.stripe = dup.stripe;
+                            ev.request_id = dup.request_id;
+                            ob->emit(ev);
+                          }
+                          enqueue_user(alt, dup);
+                        });
+      }
+    }
     queues[static_cast<std::size_t>(phys)].user.push_back(job);
     if (ob != nullptr) {
       obs::TraceEvent ev;
@@ -566,6 +674,18 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     };
     const int data_phys = arr.physical_disk(arch.data_disk(i), stripe);
     if (!arr.physical(data_phys).failed()) {
+      // Copy-affinity routing: a live-but-flagged primary loses the
+      // read to its healthy partner copy (not counted degraded — the
+      // data is fully redundant, we just prefer the healthy disk).
+      if (hedging && hcfg.affinity_routing && fail_slow.slow(data_phys)) {
+        const layout::Pos rep = arch.replica_of(i, row);
+        const int rep_phys = arr.physical_disk(rep.disk, stripe);
+        if (!arr.physical(rep_phys).failed() && !fail_slow.slow(rep_phys)) {
+          ++report.affinity_reroutes;
+          piece(rep.disk, rep.row);
+          return out;
+        }
+      }
       piece(arch.data_disk(i), row);
       return out;
     }
@@ -716,6 +836,17 @@ Result<OnlineReport> run_online_reconstruction(array::DiskArray& arr,
     dq.user.clear();
     for (const Job& job : orphans) {
       Request& rq = requests[static_cast<std::size_t>(job.request_id)];
+      if (job.hedge_group >= 0) {
+        HedgeGroup& g =
+            hedge_groups[static_cast<std::size_t>(job.hedge_group)];
+        // Partner already served the piece: nothing left to carry.
+        if (g.done) continue;
+        // Cancel the pair: the surviving half completes as wasted, and
+        // the reroute below re-issues this piece plain — exactly one
+        // decrement for the pair's one pieces_left unit, whichever
+        // half died.
+        g.done = true;
+      }
       if (job.kind == disk::IoKind::kWrite) {
         // The copy this piece targeted is gone; the write completes
         // on the remaining copies.

@@ -28,6 +28,7 @@
 #include "repair/lifecycle.hpp"
 #include "util/stats.hpp"
 #include "workload/arrival.hpp"
+#include "workload/hedge.hpp"
 #include "workload/qos.hpp"
 
 namespace sma::recon {
@@ -67,6 +68,15 @@ struct OnlineConfig {
   /// Off reproduces the seed kernel's one-event-per-element schedule;
   /// bench_sim_kernel measures the gap.
   bool batch_drains = true;
+  /// Fail-slow detection + hedged-read failover (workload::HedgeConfig).
+  /// The default (disabled) is inert: no flags are consulted, no
+  /// deadlines armed, and every report is bit-identical to the
+  /// pre-hedging engine. Enabled, per-disk latency EWMAs feed a
+  /// fail-slow detector; reads route away from flagged disks onto the
+  /// partner copy (copy affinity) and pieces already queued to one arm
+  /// a deadline-budgeted duplicate to the partner, first completion
+  /// wins. Typed kFailSlow/kHedge events mark flips and hedge issues.
+  workload::HedgeConfig hedge;
   /// Optional observability hooks (borrowed, caller-owned; see
   /// obs::Attach for the uniform semantics). With a TraceSink attached
   /// the run emits the full event stream — request arrivals, queue
@@ -126,6 +136,19 @@ struct OnlineReport {
   /// FaultProfile-scheduled fail-stops that manifested mid-run and were
   /// absorbed through the second-failure replanning machinery.
   int fail_stops_absorbed = 0;
+
+  // --- fail-slow / hedging (all zero unless hedge.enabled) --------------
+  /// Flag transitions to "fail-slow" the detector reported.
+  int fail_slow_flagged = 0;
+  /// Reads issued to the partner copy because the primary's disk was
+  /// flagged fail-slow (copy-affinity routing; not counted degraded).
+  std::size_t affinity_reroutes = 0;
+  /// Deadline-expired duplicate reads issued to the partner copy.
+  std::size_t hedged_reads = 0;
+  /// Hedged duplicates that completed before the original piece.
+  std::size_t hedge_wins = 0;
+  /// Completions of the losing half of a hedged pair (wasted service).
+  std::size_t hedge_wasted = 0;
 
   // --- lifecycle (derived via repair::classify) ------------------------
   /// Array state when the run drained: kHealthy after a completed

@@ -1,0 +1,68 @@
+#include "workload/hedge.hpp"
+
+#include <algorithm>
+
+namespace sma::workload {
+
+Status validate_hedge(const HedgeConfig& cfg) {
+  if (!cfg.enabled) return Status::ok();
+  if (cfg.warmup_samples < 1)
+    return invalid_argument("hedge: warmup_samples must be >= 1");
+  if (cfg.ewma_alpha <= 0.0 || cfg.ewma_alpha > 1.0)
+    return invalid_argument("hedge: ewma_alpha must lie in (0, 1]");
+  if (cfg.flag_factor <= 1.0)
+    return invalid_argument("hedge: flag_factor must be > 1");
+  if (cfg.clear_factor <= 0.0 || cfg.clear_factor > cfg.flag_factor)
+    return invalid_argument(
+        "hedge: clear_factor must lie in (0, flag_factor]");
+  if (cfg.hedge_deadline_factor <= 0.0)
+    return invalid_argument("hedge: hedge_deadline_factor must be > 0");
+  if (cfg.max_outstanding_hedges < 0)
+    return invalid_argument("hedge: max_outstanding_hedges must be >= 0");
+  return Status::ok();
+}
+
+FailSlowDetector::FailSlowDetector(const HedgeConfig& cfg, int disks)
+    : cfg_(cfg),
+      ewma_(static_cast<std::size_t>(disks), 0.0),
+      samples_(static_cast<std::size_t>(disks), 0),
+      flagged_(static_cast<std::size_t>(disks), 0) {}
+
+double FailSlowDetector::peer_median(int disk) const {
+  std::vector<double> peers;
+  peers.reserve(ewma_.size());
+  for (std::size_t d = 0; d < ewma_.size(); ++d) {
+    if (static_cast<int>(d) == disk) continue;
+    if (samples_[d] >= cfg_.warmup_samples) peers.push_back(ewma_[d]);
+  }
+  if (peers.size() < 2) return -1.0;
+  std::sort(peers.begin(), peers.end());
+  const std::size_t mid = peers.size() / 2;
+  return peers.size() % 2 == 1 ? peers[mid]
+                               : 0.5 * (peers[mid - 1] + peers[mid]);
+}
+
+int FailSlowDetector::observe(int disk, double service_s) {
+  const std::size_t d = static_cast<std::size_t>(disk);
+  if (samples_[d] == 0)
+    ewma_[d] = service_s;
+  else
+    ewma_[d] += cfg_.ewma_alpha * (service_s - ewma_[d]);
+  ++samples_[d];
+  if (samples_[d] < cfg_.warmup_samples) return 0;
+  const double median = peer_median(disk);
+  if (median <= 0.0) return 0;
+  if (flagged_[d] == 0) {
+    if (ewma_[d] > cfg_.flag_factor * median) {
+      flagged_[d] = 1;
+      ++flag_events_;
+      return 1;
+    }
+  } else if (ewma_[d] < cfg_.clear_factor * median) {
+    flagged_[d] = 0;
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace sma::workload

@@ -87,6 +87,67 @@ TEST(RetryBackoff, BackoffPushesTheRetryPastTheEpisode) {
   EXPECT_GE(stats.end_s, 2.5 * service);
 }
 
+// --- capped exponential backoff with seeded jitter -----------------------
+// One always-transient disk, a 3-retry budget, and a write op pin the
+// exact delay schedule: attempt k waits min(base * 2^(k-1), cap),
+// shrunk by the deterministic jitter factor when configured.
+
+BatchStats run_backoff(double base, double cap, double jitter,
+                       double alias = 0.0, std::uint64_t seed = 7) {
+  auto cfg = base_cfg();
+  cfg.seed = seed;
+  cfg.fault_overrides[0].transient_write_error_p = 1.0;
+  cfg.io_max_retries = 3;
+  cfg.retry_backoff_base_s = base;
+  cfg.retry_backoff_s = alias;
+  cfg.retry_backoff_cap_s = cap;
+  cfg.retry_backoff_jitter = jitter;
+  DiskArray arr(cfg);
+  std::vector<Op> ops{{0, 0, 0, disk::IoKind::kWrite}};
+  return arr.execute(ops, 0.0);
+}
+
+TEST(RetryBackoff, ExponentialDelaysDoubleEachAttempt) {
+  const auto immediate = run_backoff(0.0, 0.0, 0.0);
+  const auto delayed = run_backoff(0.5, 0.0, 0.0);
+  EXPECT_EQ(delayed.retried_ops, 3u);
+  EXPECT_EQ(delayed.failed_ops, 1u);
+  // Attempts wait 1x, 2x, 4x the base — exponential, not linear.
+  EXPECT_NEAR(delayed.end_s, immediate.end_s + 0.5 * (1 + 2 + 4), 1e-9);
+}
+
+TEST(RetryBackoff, CapBoundsEveryDelay) {
+  const auto immediate = run_backoff(0.0, 0.0, 0.0);
+  const auto capped = run_backoff(0.5, 0.75, 0.0);
+  // 0.5, then min(1.0, 0.75), then min(2.0, 0.75).
+  EXPECT_NEAR(capped.end_s, immediate.end_s + (0.5 + 0.75 + 0.75), 1e-9);
+}
+
+TEST(RetryBackoff, JitterIsBoundedAndSeedDeterministic) {
+  const auto immediate = run_backoff(0.0, 0.0, 0.0);
+  const auto full = run_backoff(0.5, 0.0, 0.0);
+  const auto jittered = run_backoff(0.5, 0.0, 0.5);
+  // Jitter only shrinks delays, by at most the jitter fraction.
+  EXPECT_LT(jittered.end_s, full.end_s);
+  EXPECT_GE(jittered.end_s,
+            immediate.end_s + 0.5 * (0.5 * (1 + 2 + 4)) - 1e-9);
+  // Same ArrayConfig::seed, same delays — bit for bit.
+  const auto replay = run_backoff(0.5, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(jittered.end_s, replay.end_s);
+  // A different seed draws a different jitter factor.
+  const auto other = run_backoff(0.5, 0.0, 0.5, 0.0, 8);
+  EXPECT_NE(jittered.end_s, other.end_s);
+}
+
+TEST(RetryBackoff, DeprecatedAliasSuppliesTheBase) {
+  const auto via_base = run_backoff(0.5, 0.0, 0.0);
+  const auto via_alias = run_backoff(0.0, 0.0, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(via_alias.end_s, via_base.end_s);
+  // When both are set the new field wins.
+  const auto both = run_backoff(0.5, 0.0, 0.0, 123.0);
+  EXPECT_DOUBLE_EQ(both.end_s, via_base.end_s);
+}
+
 TEST(RetryBackoff, MaxRetryDepthReportsTheWorstOpInTheBatch) {
   const double service = cold_read_service_s();
   auto cfg = base_cfg();

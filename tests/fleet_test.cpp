@@ -225,6 +225,94 @@ TEST(FleetTimeline, RejectsBadConfigs) {
   cfg.repair_hours = 0.0;
   EXPECT_EQ(run_failure_timeline(arch, cfg).status().code(),
             ErrorCode::kInvalidArgument);
+  cfg.repair_hours = 8.0;
+  cfg.domain_size = -1;
+  EXPECT_EQ(run_failure_timeline(arch, cfg).status().code(),
+            ErrorCode::kInvalidArgument);
+  cfg.domain_size = 2;
+  cfg.domain_hazard_factor = 0.5;
+  EXPECT_EQ(run_failure_timeline(arch, cfg).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FleetTimeline, InertDomainConfigsMatchIndependentArrays) {
+  TimelineConfig base;
+  base.arrays = 32;
+  base.horizon_hours = 24.0 * 180.0;
+  base.repair_hours = 48.0;
+  const auto arch = layout::Architecture::mirror(3, true);
+  const auto independent = run_failure_timeline(arch, base);
+  ASSERT_TRUE(independent.is_ok());
+
+  // domain_size without a hazard boost, and a boost without domains,
+  // are both the independent process bit-identically.
+  TimelineConfig sized = base;
+  sized.domain_size = 8;
+  sized.domain_hazard_factor = 1.0;
+  const auto a = run_failure_timeline(arch, sized);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value().digest, independent.value().digest);
+
+  TimelineConfig boosted = base;
+  boosted.domain_hazard_factor = 8.0;  // domain_size stays 0
+  const auto b = run_failure_timeline(arch, boosted);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(b.value().digest, independent.value().digest);
+}
+
+TEST(FleetTimeline, CorrelatedDomainsRaiseConcurrentExposure) {
+  TimelineConfig base;
+  base.arrays = 32;
+  base.horizon_hours = 24.0 * 365.0 * 2.0;
+  base.disk_mttf_hours = 2.0e4;
+  base.repair_hours = 96.0;
+  const auto arch = layout::Architecture::mirror(3, true);
+  const auto independent = run_failure_timeline(arch, base);
+  ASSERT_TRUE(independent.is_ok());
+
+  TimelineConfig corr = base;
+  corr.domain_size = 8;
+  corr.domain_hazard_factor = 16.0;
+  const auto correlated = run_failure_timeline(arch, corr);
+  ASSERT_TRUE(correlated.is_ok()) << correlated.status().to_string();
+
+  // A strong hazard boost inside each enclosure makes failures cluster:
+  // more failures land overall and more repairs overlap in time.
+  EXPECT_GT(correlated.value().failures, independent.value().failures);
+  EXPECT_GE(correlated.value().frac_time_ge2,
+            independent.value().frac_time_ge2);
+  // Determinism holds with the redraw machinery active.
+  const auto replay = run_failure_timeline(arch, corr);
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_EQ(replay.value().digest, correlated.value().digest);
+}
+
+TEST(FleetEdge, SpreadWiderThanTheFleetIsRejected) {
+  FleetConfig cfg = small_fleet();
+  cfg.placement.spread = cfg.arrays + 1;
+  EXPECT_EQ(run_fleet(cfg).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FleetEdge, AllArraysFailedAtTimeZero) {
+  FleetConfig cfg = small_fleet();
+  cfg.failed_arrays = cfg.arrays;
+  const auto r = run_fleet(cfg);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().failed_arrays, cfg.arrays);
+  EXPECT_GT(r.value().mean_rebuild_s, 0.0);
+  // Every volume touches a rebuilding array, so the exposure is total.
+  EXPECT_DOUBLE_EQ(r.value().degraded_volume_fraction, 1.0);
+}
+
+TEST(FleetEdge, ZeroRoutedRequestsStillRebuilds) {
+  FleetConfig cfg = small_fleet();
+  cfg.arrival.max_requests = 0;
+  const auto r = run_fleet(cfg);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().requests_routed, 0u);
+  EXPECT_EQ(r.value().requests_completed, 0u);
+  EXPECT_DOUBLE_EQ(r.value().mean_latency_s, 0.0);
+  EXPECT_GT(r.value().mean_rebuild_s, 0.0);  // the rebuild still drains
 }
 
 }  // namespace

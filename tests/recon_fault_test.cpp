@@ -219,9 +219,11 @@ TEST(ReconFaults, ExecuteReportsTheDeepestRetryChain) {
 }
 
 TEST(ReconFaults, RetryBackoffDelaysResubmissionLinearly) {
-  // Each retry waits retry_backoff_s * attempt after the failed attempt
-  // drains, so an op that exhausts two retries finishes exactly
-  // backoff * (1 + 2) later than with the default immediate retry.
+  // The first two attempts of the exponential schedule wait backoff * 1
+  // and backoff * 2 after the failed attempt drains — identical to the
+  // historical linear schedule this deprecated alias configured — so an
+  // op that exhausts two retries finishes exactly backoff * (1 + 2)
+  // later than with the default immediate retry.
   auto run = [](double backoff) {
     auto cfg = base_cfg(layout::Architecture::mirror(2, true));
     cfg.fault_overrides[0].transient_write_error_p = 1.0;

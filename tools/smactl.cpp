@@ -45,13 +45,19 @@
 //                    | --mc-trials=T [--mttf-h=400] [--mttr-h=1]
 //                    [--enclosure-size=E] [--replenish-h=H]
 //   smactl update-penalty [--n=5]
+//   smactl chaos     [--scenario=<spec>] [--seed=<u64>] [--hedge]
+//                    [--soak=N] [--threads=K]
+//                    [--sabotage=none|skip-resync|leak-corruption]
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
 
+#include "chaos/engine.hpp"
+#include "chaos/scenario.hpp"
 #include "core/trace.hpp"
 #include "core/volume.hpp"
 #include "fleet/fleet.hpp"
@@ -141,6 +147,13 @@ int usage_stream(std::FILE* out, const char* error) {
                "                 --requests --rate --threads --horizon-h\n"
                "                 --mttf-h; --mix=shifted|traditional|\n"
                "                 alternating is a deprecated alias)\n"
+               "  chaos         compound fault scenario through the chaos\n"
+               "                engine + invariant oracle: --scenario=<spec>\n"
+               "                replays a spec (pair with the --seed=<u64> a\n"
+               "                violation names), --seed alone composes one,\n"
+               "                neither runs the reference compound\n"
+               "                (--hedge --soak=<N> --threads=<k>\n"
+               "                 --sabotage=none|skip-resync|leak-corruption)\n"
                "common flags: --n=<disks> --parity --arrangement=<spec>\n"
                "              (see 'smactl layouts'; --kind=<spec> and\n"
                "              --traditional are deprecated aliases)\n"
@@ -1299,6 +1312,114 @@ int cmd_fleet(const Flags& flags) {
   return 0;
 }
 
+int cmd_chaos(const Flags& flags) {
+  const CommonOptions c = common_from(flags, {/*n=*/4, /*seed=*/1});
+  // Replay seeds come from oracle violation messages and use the full
+  // 64-bit range; the shared int-typed --seed would truncate them.
+  std::uint64_t seed = 20120901;
+  bool seeded = false;
+  if (flags.has("seed")) {
+    const std::string raw = flags.get("seed", "");
+    char* end = nullptr;
+    seed = std::strtoull(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0')
+      return usage("--seed must be an unsigned integer");
+    seeded = true;
+  }
+
+  chaos::ChaosConfig cfg;
+  cfg.n = c.n;
+  cfg.parity = flags.get_bool("parity", true);
+  cfg.shifted = c.arrangement != "traditional";
+  cfg.hedge.enabled = flags.get_bool("hedge", false);
+  const std::string sabotage = flags.get("sabotage", "none");
+  if (sabotage == "skip-resync")
+    cfg.sabotage = chaos::ChaosConfig::Sabotage::kSkipResync;
+  else if (sabotage == "leak-corruption")
+    cfg.sabotage = chaos::ChaosConfig::Sabotage::kLeakCorruption;
+  else if (sabotage != "none")
+    return usage("--sabotage must be none|skip-resync|leak-corruption");
+
+  // Soak mode: a seeded batch of composed scenarios, every violation
+  // printed with its replay pair.
+  const int soak_runs = flags.get_int("soak", 0);
+  if (soak_runs > 0) {
+    chaos::SoakConfig scfg;
+    scfg.scenarios = soak_runs;
+    scfg.base_seed = seed;
+    scfg.n = c.n;
+    scfg.threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+    const auto r = chaos::run_soak(scfg);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "chaos: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: %d scenario(s), %d violation(s), digest %016llx\n",
+                r.value().scenarios_run, r.value().violations,
+                static_cast<unsigned long long>(r.value().digest));
+    for (const std::string& m : r.value().violation_messages)
+      std::fprintf(stderr, "chaos: %s\n", m.c_str());
+    return r.value().violations == 0 ? 0 : 1;
+  }
+
+  // Single scenario: --scenario replays a spec verbatim (pair it with
+  // the --seed a violation names), --seed alone composes one, neither
+  // runs the drift-gated reference compound.
+  const int disks =
+      (cfg.parity ? layout::Architecture::mirror_with_parity(c.n, cfg.shifted)
+                  : layout::Architecture::mirror(c.n, cfg.shifted))
+          .total_disks();
+  if (flags.has("scenario")) {
+    auto parsed = chaos::parse_scenario(flags.get("scenario", ""), seed);
+    if (!parsed.is_ok()) return usage(parsed.status().to_string().c_str());
+    cfg.scenario = std::move(parsed).take();
+  } else if (seeded) {
+    cfg.scenario = chaos::compose_scenario(seed, disks);
+  } else {
+    cfg.scenario = chaos::reference_scenario(disks);
+  }
+
+  std::printf("scenario: %s (seed %llu, %s, n=%d%s%s)\n",
+              cfg.scenario.spec().c_str(),
+              static_cast<unsigned long long>(cfg.scenario.seed),
+              cfg.shifted ? "shifted" : "traditional", cfg.n,
+              cfg.parity ? ", parity" : "",
+              cfg.hedge.enabled ? ", hedged" : "");
+  const auto r = chaos::run_scenario(cfg);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "chaos: %s\n", r.status().to_string().c_str());
+    return 1;
+  }
+  const chaos::ChaosReport& rep = r.value();
+  std::printf("serving: %llu/%llu requests, degraded p99 %.4f s, "
+              "%d fail-slow flag(s), %llu reroute(s), %llu hedge(s)\n",
+              static_cast<unsigned long long>(rep.serving.requests_completed),
+              static_cast<unsigned long long>(rep.serving.requests_issued),
+              rep.degraded_p99_s, rep.serving.fail_slow_flagged,
+              static_cast<unsigned long long>(rep.serving.affinity_reroutes),
+              static_cast<unsigned long long>(rep.serving.hedged_reads));
+  if (rep.crashed)
+    std::printf("crash: resync scanned %d region(s), scrub repaired %llu\n",
+                rep.resync.regions_scanned,
+                static_cast<unsigned long long>(
+                    rep.crash_scrub.repaired_by_checksum));
+  if (rep.corruptions_injected > 0)
+    std::printf("corruption: %d injected, scrub found %llu, repaired %llu\n",
+                rep.corruptions_injected,
+                static_cast<unsigned long long>(rep.scrub.checksum_mismatches),
+                static_cast<unsigned long long>(
+                    rep.scrub.repaired_by_checksum));
+  if (rep.rebuilt)
+    std::printf("rebuild: %d repair(s), %llu bytes recovered\n",
+                rep.repairs_started,
+                static_cast<unsigned long long>(
+                    rep.rebuild.logical_bytes_recovered));
+  std::printf("oracle: %d check(s) passed; final state: %s; digest %016llx\n",
+              rep.oracle_checks, repair::to_string(rep.final_state),
+              static_cast<unsigned long long>(rep.digest));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1335,6 +1456,7 @@ int main(int argc, char** argv) {
   else if (cmd == "replay") rc = cmd_replay(flags);
   else if (cmd == "simbench") rc = cmd_simbench(flags);
   else if (cmd == "fleet") rc = cmd_fleet(flags);
+  else if (cmd == "chaos") rc = cmd_chaos(flags);
   else return usage(("unknown command: " + cmd).c_str());
 
   // Typed getters record malformed values as they are consumed; a typo
